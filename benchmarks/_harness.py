@@ -1,0 +1,30 @@
+"""Small helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Directory in which each benchmark drops the table it regenerated.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The benchmarks are macro-benchmarks (whole experiment drivers); repeating
+    them would multiply the suite's runtime without improving the measurement.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under ``benchmarks/results/``.
+
+    pytest captures stdout of passing tests, so the persisted copy is what a
+    user reads after ``pytest benchmarks/ --benchmark-only``; the printed copy
+    shows up when running with ``-s`` (or on failure).
+    """
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

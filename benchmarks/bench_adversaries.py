@@ -1,0 +1,43 @@
+"""E5: adversary ablation.
+
+The paper's adversary controls the speed of both agents arbitrarily.  The
+benchmark measures the cost-to-meeting of Algorithm RV-asynch-poly under the
+engine's adversary family — fair round-robin, random interleaving, two
+starvation strategies and the greedy meeting-avoiding adversary with a sweep
+of its patience parameter — on a ring and on a random graph.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+
+from ._harness import emit, run_once
+
+
+def test_adversary_ablation_ring(benchmark, sim_model):
+    records = run_once(
+        benchmark,
+        experiments.adversary_ablation,
+        family="ring",
+        n=10,
+        patiences=(4, 16, 64, 256),
+        model=sim_model,
+        max_traversals=1_000_000,
+    )
+    emit("e5_adversaries_ring", experiments.adversary_ablation_table(records))
+    assert all(record.met for record in records)
+
+
+def test_adversary_ablation_random_graph(benchmark, sim_model):
+    records = run_once(
+        benchmark,
+        experiments.adversary_ablation,
+        family="erdos_renyi",
+        n=10,
+        patiences=(16, 64),
+        model=sim_model,
+        max_traversals=1_000_000,
+        seed=3,
+    )
+    emit("e5_adversaries_random_graph", experiments.adversary_ablation_table(records))
+    assert all(record.met for record in records)

@@ -1,0 +1,59 @@
+"""E3: the analytic worst-case guarantees (Theorem 3.1 versus prior work).
+
+Pure computation (no simulation): tabulates ``Π(n, |L|)`` and the exponential
+baseline guarantee over a grid of sizes and labels, classifies their growth,
+and reports where the crossover falls.  Also sweeps the exponent of the
+exploration polynomial ``P`` (the ablation called out in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+from repro.analysis.fitting import fit_power_law
+from repro.core.bounds import compare_bounds
+from repro.exploration.cost_model import PaperCostModel
+
+from ._harness import emit, run_once
+
+
+def test_bound_scaling(benchmark, paper_model):
+    records = run_once(
+        benchmark,
+        experiments.bound_scaling,
+        sizes=(2, 4, 8, 16, 32),
+        labels=(1, 2, 4, 8, 16, 32, 64),
+        model=paper_model,
+    )
+    emit("e3_bound_scaling", experiments.bound_scaling_table(records))
+    # The crossover: for long enough labels the polynomial guarantee wins.
+    largest_label = max(record.label for record in records)
+    for record in records:
+        if record.label == largest_label:
+            assert record.baseline_bound > record.rv_bound
+    # The RV bound depends on the label only through its length.
+    by_length = {}
+    for record in records:
+        by_length.setdefault((record.n, record.label_length), set()).add(record.rv_bound)
+    assert all(len(values) == 1 for values in by_length.values())
+
+
+def test_bound_ablation_on_exploration_polynomial(benchmark):
+    """How the degree of P(k) propagates into the degree of Π(n, m)."""
+
+    def sweep():
+        rows = []
+        for exponent in (1, 2, 3):
+            model = PaperCostModel(length_coefficient=1, length_exponent=exponent)
+            sizes = (4, 8, 16, 32)
+            bounds = [model.pi_bound(n, 2) for n in sizes]
+            fit = fit_power_law(sizes, bounds)
+            rows.append((exponent, fit.slope, bounds[-1]))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    lines = ["P(k) exponent -> fitted degree of Pi(n, 2) in n, Pi(32, 2):"]
+    for exponent, slope, largest in rows:
+        lines.append(f"  P(k) = k^{exponent}:  degree ~ {slope:.1f}   Pi(32, 2) = {largest:.3e}")
+    emit("e3_bound_ablation_P_exponent", "\n".join(lines))
+    degrees = [slope for _exponent, slope, _largest in rows]
+    assert degrees == sorted(degrees)

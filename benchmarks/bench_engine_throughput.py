@@ -1,0 +1,44 @@
+"""Engine micro-benchmark: edge traversals per second.
+
+Not one of the paper's experiments, but the number every other benchmark's
+wall-clock time depends on: how fast the asynchronous engine can drive agent
+programs.  Uses a plain round-robin schedule of two RV-asynch-poly agents on a
+ring with a fixed traversal budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rendezvous import RendezvousController
+from repro.exceptions import CostLimitExceeded
+from repro.graphs import families
+from repro.sim import AgentSpec, AsyncEngine, RoundRobinScheduler
+
+TRAVERSAL_BUDGET = 30_000
+
+
+def _drive_engine(sim_model):
+    graph = families.ring(8)
+    engine = AsyncEngine(
+        graph,
+        [
+            AgentSpec(RendezvousController("agent-1", 6, sim_model), 0),
+            # No rendezvous goal and a far-away partner: the run always hits
+            # the budget, so every timed run does the same amount of work.
+            AgentSpec(RendezvousController("agent-2", 11, sim_model), 4),
+        ],
+        RoundRobinScheduler(),
+        max_traversals=TRAVERSAL_BUDGET,
+        on_cost_limit="return",
+    )
+    return engine.run()
+
+
+def test_engine_throughput(benchmark, sim_model):
+    result = benchmark.pedantic(
+        _drive_engine, args=(sim_model,), rounds=3, iterations=1
+    )
+    assert result.total_traversals >= TRAVERSAL_BUDGET
+    seconds = benchmark.stats.stats.mean
+    print(f"\nengine throughput: {result.total_traversals / seconds:,.0f} traversals/s")

@@ -1,0 +1,37 @@
+"""E4: Procedure ESST — cost and termination phase versus graph size.
+
+Theorem 2.1: the procedure terminates after a number of edge traversals
+polynomial in the size of the graph, having traversed every edge; the final
+phase index exceeds the size and is at most ``9n + 3``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+from repro.analysis.fitting import fit_power_law
+
+from ._harness import emit, run_once
+
+
+def test_esst_scaling(benchmark, sim_model):
+    records = run_once(
+        benchmark,
+        experiments.esst_scaling,
+        sizes=(4, 5, 6, 7, 8),
+        family_names=("ring", "path", "erdos_renyi"),
+        model=sim_model,
+    )
+    table = experiments.esst_scaling_table(records)
+    assert all(record.all_edges_traversed for record in records)
+    assert all(record.final_phase <= record.phase_bound for record in records)
+    assert all(record.final_phase > record.n for record in records)
+
+    ring_records = sorted(
+        (r for r in records if r.family == "ring"), key=lambda r: r.n
+    )
+    fit = fit_power_law([r.n for r in ring_records], [r.cost for r in ring_records])
+    emit(
+        "e4_esst_scaling",
+        table + f"\n\nESST cost on rings grows like n^{fit.slope:.1f} (a polynomial)",
+    )
+    assert fit.slope < 12  # comfortably polynomial

@@ -1,0 +1,21 @@
+"""F1–F4: regenerate the structural content of the paper's Figures 1–4.
+
+The figures are schematic decompositions of the trajectories Q(k, v),
+Y'(k, v), Z(k, v) and A'(k, v); the benchmark rebuilds those decompositions
+(component lists, repetition counts and exact lengths) and prints them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+
+from ._harness import emit, run_once
+
+
+def test_figures_structure(benchmark, sim_model):
+    records = run_once(
+        benchmark, experiments.figure_structures, ks=(1, 2, 3, 4, 5), model=sim_model
+    )
+    emit("f1_f4_figure_structures", experiments.figure_structures_table(records))
+    assert len(records) == 4 * 5
+    assert all(record.length > 0 for record in records)

@@ -1,0 +1,47 @@
+"""E2: rendezvous cost versus the (smaller) label — the headline separation.
+
+For each label ``L`` the benchmark measures the cost-to-meeting of Algorithm
+RV-asynch-poly and of the naive exponential baseline under the
+delay-until-stop adversary, and tabulates the worst-case guarantees next to
+the measurements: the baseline's guarantee grows exponentially in ``L``, the
+paper's bound ``Π(n, |L|)`` only polynomially in the *length* of ``L``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+from repro.analysis.fitting import classify_growth
+
+from ._harness import emit, run_once
+
+
+def test_rendezvous_vs_label(benchmark, sim_model):
+    records = run_once(
+        benchmark,
+        experiments.rendezvous_vs_label,
+        small_labels=(1, 2, 4, 8, 16, 32, 64),
+        n=6,
+        scheduler_name="delay_until_stop",
+        model=sim_model,
+        max_traversals=1_000_000,
+    )
+    table = experiments.rendezvous_vs_label_table(records)
+    assert all(record.met for record in records)
+
+    baseline = sorted(
+        (r for r in records if r.algorithm == "baseline"), key=lambda r: r.label_small
+    )
+    rv = sorted(
+        (r for r in records if r.algorithm == "rv_asynch_poly"),
+        key=lambda r: r.label_small,
+    )
+    labels = [r.label_small for r in baseline]
+    baseline_growth = classify_growth(labels, [r.guaranteed_bound for r in baseline])
+    rv_growth = classify_growth(labels, [r.guaranteed_bound for r in rv])
+    emit(
+        "e2_rendezvous_vs_label",
+        table
+        + f"\n\nguarantee growth in the label: baseline={baseline_growth}, rv={rv_growth}",
+    )
+    assert baseline_growth == "exponential"
+    assert rv_growth == "polynomial"

@@ -1,0 +1,29 @@
+"""E1: measured rendezvous cost versus graph size (Theorem 3.1).
+
+Runs Algorithm RV-asynch-poly and the exponential baseline on rings and
+random graphs of increasing size, under a fair and an adversarial scheduler,
+and prints the measured cost-to-meeting table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+
+from ._harness import emit, run_once
+
+
+def test_rendezvous_vs_size(benchmark, sim_model):
+    records = run_once(
+        benchmark,
+        experiments.rendezvous_vs_size,
+        sizes=(4, 6, 8, 10, 12, 16),
+        family_names=("ring", "erdos_renyi"),
+        scheduler_names=("round_robin", "avoider"),
+        algorithms=("rv_asynch_poly", "baseline"),
+        model=sim_model,
+        max_traversals=1_000_000,
+    )
+    emit("e1_rendezvous_vs_size", experiments.rendezvous_vs_size_table(records))
+    assert all(record.met for record in records)
+    rv_costs = [r.cost for r in records if r.algorithm == "rv_asynch_poly"]
+    assert max(rv_costs) <= 1_000_000

@@ -1,0 +1,54 @@
+"""E6: Algorithm SGL and the four team problems (Theorem 4.1).
+
+Measures the total cost (edge traversals by all agents until every agent has
+output the full label set) as the graph and the team grow, and checks that
+every output is correct — which immediately gives team size, leader election,
+perfect renaming and gossiping.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+from repro.graphs import families
+from repro.teams import TeamMember, solve_gossiping
+
+from ._harness import emit, run_once
+
+
+def test_team_scaling(benchmark, sim_model):
+    records = run_once(
+        benchmark,
+        experiments.team_scaling,
+        sizes=(4, 5, 6),
+        team_sizes=(2, 3),
+        family="ring",
+        model=sim_model,
+        max_traversals=8_000_000,
+    )
+    emit("e6_team_scaling", experiments.team_scaling_table(records))
+    assert all(record.correct for record in records)
+    costs_by_n = {}
+    for record in records:
+        costs_by_n.setdefault(record.team_size, []).append((record.n, record.cost))
+
+
+def test_gossiping_on_a_random_graph(benchmark, sim_model):
+    graph = families.random_connected(6, 0.4, rng_seed=5)
+    members = [
+        TeamMember(9, 0, value="inventory-A"),
+        TeamMember(4, 2, value="inventory-B"),
+        TeamMember(17, 4, value="inventory-C"),
+    ]
+
+    def runner():
+        return solve_gossiping(
+            graph, members, model=sim_model, max_traversals=8_000_000
+        )
+
+    answers, outcome = run_once(benchmark, runner)
+    emit(
+        "e6_gossiping_random_graph",
+        f"gossiping on {graph.name}: correct={outcome.correct}, cost={outcome.cost}",
+    )
+    assert outcome.correct
+    assert answers[9] == {9: "inventory-A", 4: "inventory-B", 17: "inventory-C"}

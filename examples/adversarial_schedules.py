@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""How much can the adversary hurt?  Rendezvous under different schedules.
+
+The asynchronous adversary controls the speed of both agents.  This example
+runs the same rendezvous instance (same graph, same labels, same start nodes)
+under every adversary strategy shipped with the engine — fair round-robin,
+random interleaving, starvation, delay-until-stop, and the greedy
+meeting-avoiding adversary with increasing patience — and compares the
+measured cost-to-meeting with the worst-case guarantee of Theorem 3.1, which
+holds against *all* of them.
+
+It also shows the contrast with the naive exponential baseline: the baseline
+still meets (on this small instance) but its worst-case guarantee is
+astronomically larger and it needs to know the size of the network.
+
+Run with::
+
+    python examples/adversarial_schedules.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core import run_baseline_rendezvous, run_rendezvous
+from repro.exploration.cost_model import SimulationCostModel
+from repro.graphs import families
+from repro.sim import (
+    GreedyAvoidingScheduler,
+    LazyScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+
+def main() -> None:
+    graph = families.random_connected(9, 0.3, rng_seed=4)
+    model = SimulationCostModel()
+    labels = (6, 11)
+    placements = [(labels[0], 0), (labels[1], 5)]
+
+    adversaries = [
+        ("round robin (fair)", lambda: RoundRobinScheduler()),
+        ("random interleaving", lambda: RandomScheduler(seed=2)),
+        ("starve agent 1 for 200 moves", lambda: LazyScheduler("agent-1", release_after=200)),
+        ("delay agent 2 until agent 1 stops", lambda: LazyScheduler("agent-2", release_after=None)),
+        ("greedy avoider, patience 16", lambda: GreedyAvoidingScheduler(patience=16)),
+        ("greedy avoider, patience 256", lambda: GreedyAvoidingScheduler(patience=256)),
+    ]
+
+    rows = []
+    for name, make in adversaries:
+        result = run_rendezvous(
+            graph, placements, scheduler=make(), model=model, max_traversals=1_000_000
+        )
+        rows.append([name, "RV-asynch-poly", result.met, result.cost(), result.decisions])
+        baseline = run_baseline_rendezvous(
+            graph, placements, scheduler=make(), model=model, max_traversals=1_000_000
+        )
+        rows.append([name, "baseline (knows n)", baseline.met, baseline.cost(), baseline.decisions])
+
+    print(f"instance: {graph.name}, labels {labels}, start nodes 0 and 5\n")
+    print(format_table(["adversary", "algorithm", "met", "cost", "decisions"], rows))
+
+    smaller = min(labels)
+    print()
+    print("worst-case guarantees for this instance (hold against ANY adversary):")
+    print(f"  RV-asynch-poly:  Π(n, |{smaller}|) = {model.pi_bound(graph.size, smaller.bit_length()):,}")
+    print(f"  baseline:        (2P(n)+1)^{smaller} · 2P(n) = "
+          f"{model.baseline_trajectory_length(graph.size, smaller):,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Network maintenance by a team of software agents (the §4 applications).
+
+The paper's motivating scenario: software agents are injected at different
+routers of a network whose topology (and even size) is unknown to them, in
+order to coordinate a maintenance task.  Before they can coordinate they must
+
+* find out how many of them there are          (team size),
+* agree on a coordinator                        (leader election),
+* adopt short pairwise-distinct identifiers     (perfect renaming),
+* pool the inventory data each one collected    (gossiping).
+
+All four reduce to Strong Global Learning (Algorithm SGL), which this example
+runs for a team of four agents on a random network, one of them initially
+dormant (it is woken up when a teammate walks over its start node).
+
+Run with::
+
+    python examples/network_maintenance.py
+"""
+
+from __future__ import annotations
+
+from repro.exploration.cost_model import SimulationCostModel
+from repro.graphs import families
+from repro.sim import RandomScheduler
+from repro.teams import TeamMember, run_sgl
+
+
+def main() -> None:
+    graph = families.random_connected(7, 0.35, rng_seed=11)
+    model = SimulationCostModel()
+    team = [
+        TeamMember(label=23, start_node=0, value={"router": 0, "firmware": "v2.1"}),
+        TeamMember(label=8, start_node=2, value={"router": 2, "firmware": "v2.3"}),
+        TeamMember(label=41, start_node=4, value={"router": 4, "firmware": "v1.9"}),
+        TeamMember(label=15, start_node=6, value={"router": 6, "firmware": "v2.3"},
+                   dormant=True),
+    ]
+
+    print(f"network: {graph.name} ({graph.size} routers, {graph.num_edges} links)")
+    print(f"team:    labels {sorted(member.label for member in team)}; "
+          f"agent 15 starts dormant")
+    print()
+
+    outcome = run_sgl(
+        graph,
+        team,
+        scheduler=RandomScheduler(seed=3),
+        model=model,
+        max_traversals=8_000_000,
+    )
+
+    print(f"every agent produced an output: {outcome.all_output}")
+    print(f"outputs correct:                {outcome.correct}")
+    print(f"total cost:                     {outcome.cost:,} edge traversals")
+    print()
+
+    labels = outcome.expected_labels
+    print("derived answers (identical at every agent):")
+    print(f"  team size:        {len(labels)}")
+    print(f"  leader:           agent {min(labels)}")
+    renaming = {label: rank + 1 for rank, label in enumerate(labels)}
+    print(f"  perfect renaming: {renaming}")
+    print("  gossiping (inventory collected by the leader):")
+    for label, value in sorted(outcome.value_maps[min(labels)].items()):
+        print(f"    agent {label}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The headline result, in one table: polynomial versus exponential guarantees.
+
+Prior to this paper, the best deterministic asynchronous rendezvous algorithm
+had cost exponential in the size of the graph and in the (larger) label.  The
+paper's Algorithm RV-asynch-poly guarantees a meeting within ``Π(n, |L_min|)``
+edge traversals — polynomial in the size and in the *length* of the smaller
+label.
+
+This example evaluates both guarantees on a grid of sizes and labels, fits
+their growth, and prints where the crossover lies.  Everything here is exact
+arithmetic on the bound recurrences of §3.2 — no simulation involved.
+
+Run with::
+
+    python examples/polynomial_vs_exponential.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import classify_growth, fit_power_law
+from repro.analysis.tables import format_table
+from repro.core.bounds import compare_bounds
+from repro.exploration.cost_model import PaperCostModel
+
+
+def _magnitude(value: int) -> str:
+    """Render a (possibly astronomically large) integer as a power of ten."""
+    if value < 10**300:
+        return f"{float(value):.3e}"
+    return f"~10^{len(str(value)) - 1}"
+
+
+def main() -> None:
+    model = PaperCostModel()
+    sizes = (4, 8, 16)
+    labels = (1, 4, 16, 64, 256)
+    comparisons = compare_bounds(sizes, labels, model)
+
+    rows = [
+        [c.n, c.label, c.label_length, _magnitude(c.rv_bound), _magnitude(c.baseline_bound),
+         "RV" if c.rv_bound < c.baseline_bound else "baseline"]
+        for c in comparisons
+    ]
+    print(format_table(
+        ["n", "label L", "|L|", "Pi(n, |L|)", "baseline bound", "smaller guarantee"],
+        rows,
+        title="Worst-case rendezvous guarantees (Theorem 3.1 vs the exponential baseline)",
+    ))
+
+    at_largest_n = [c for c in comparisons if c.n == max(sizes)]
+    label_values = [c.label for c in at_largest_n]
+    print()
+    print("growth in the label at n = %d:" % max(sizes))
+    print("  RV-asynch-poly: %s" % classify_growth(label_values, [c.rv_bound for c in at_largest_n]))
+    print("  baseline:       %s" % classify_growth(label_values, [c.baseline_bound for c in at_largest_n]))
+
+    at_smallest_label = sorted(
+        (c for c in comparisons if c.label == labels[0]), key=lambda c: c.n
+    )
+    fit = fit_power_law([c.n for c in at_smallest_label], [c.rv_bound for c in at_smallest_label])
+    print(f"\ngrowth of Π in the size (L = {labels[0]}): ~ n^{fit.slope:.1f} — a fixed-degree polynomial,")
+    print("whereas the baseline guarantee is multiplied by (2P(n)+1) for every extra unit of L.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: two agents meet asynchronously in an unknown network.
+
+Two mobile agents with labels 6 and 11 are dropped at different nodes of an
+8-node ring they know nothing about — not even its size.  An adversary
+controls how fast each of them moves.  Both run Algorithm RV-asynch-poly (the
+paper's main contribution); the engine reports where they met and how many
+edge traversals it cost, and compares that with the worst-case guarantee
+Π(n, |L_min|) of Theorem 3.1.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import run_rendezvous
+from repro.exploration.cost_model import SimulationCostModel
+from repro.graphs import families
+from repro.sim import GreedyAvoidingScheduler
+
+
+def main() -> None:
+    graph = families.ring(8)
+    model = SimulationCostModel()
+    labels = (6, 11)
+    starts = (0, 4)
+
+    print(f"network: {graph.name} with {graph.size} nodes and {graph.num_edges} edges")
+    print(f"agents:  label {labels[0]} at node {starts[0]}, label {labels[1]} at node {starts[1]}")
+    print("adversary: greedy meeting-avoiding scheduler (patience 64)")
+    print()
+
+    result = run_rendezvous(
+        graph,
+        [(labels[0], starts[0]), (labels[1], starts[1])],
+        scheduler=GreedyAvoidingScheduler(patience=64),
+        model=model,
+    )
+
+    where = (
+        f"node {result.meeting.node}"
+        if result.meeting.node is not None
+        else f"inside edge {result.meeting.edge}"
+    )
+    smaller_length = min(labels[0].bit_length(), labels[1].bit_length())
+    bound = model.pi_bound(graph.size, smaller_length)
+
+    print(f"met:                 {result.met} ({where})")
+    print(f"measured cost:       {result.total_traversals} edge traversals")
+    print(f"per agent:           {result.traversals_by_agent}")
+    print(f"Theorem 3.1 bound:   Π({graph.size}, {smaller_length}) = {bound:,} traversals")
+    print()
+    print("The agents met long before the worst-case guarantee — the guarantee is")
+    print("what holds against *any* adversary, however the speeds are manipulated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose packaging toolchain
+predates PEP 660 editable installs (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Analysis toolkit: growth fitting, result tables, experiment drivers.
+
+Public API
+----------
+* fitting: :func:`~repro.analysis.fitting.fit_power_law`,
+  :func:`~repro.analysis.fitting.fit_exponential`,
+  :func:`~repro.analysis.fitting.classify_growth`
+* tables: :func:`~repro.analysis.tables.format_table`,
+  :func:`~repro.analysis.tables.format_records`
+* experiments: the E1–E6 / F1–F4 drivers of
+  :mod:`repro.analysis.experiments`
+"""
+
+from .fitting import FitResult, classify_growth, fit_exponential, fit_power_law
+from .tables import format_records, format_table
+from . import experiments
+
+__all__ = [
+    "FitResult",
+    "classify_growth",
+    "fit_exponential",
+    "fit_power_law",
+    "format_records",
+    "format_table",
+    "experiments",
+]

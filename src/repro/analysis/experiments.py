@@ -1,0 +1,585 @@
+"""Experiment drivers: the reproduction's tables and figures (E1–E6, F1–F4).
+
+The paper is a theory paper: its four figures are schematic diagrams of the
+trajectory constructions and its quantitative statements are worst-case
+bounds.  EXPERIMENTS.md defines the derived experiment suite this module
+implements; the benchmark harness (``benchmarks/``) and the CLI call these
+drivers and print their tables.
+
+Every driver returns a list of small record dataclasses so that tests can
+assert on the numbers and benchmarks can both time the run and show the
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.baseline import run_baseline_rendezvous
+from ..core.bounds import compare_bounds
+from ..core.rendezvous import run_rendezvous
+from ..core.trajectories import trajectory_structure
+from ..exceptions import ReproError
+from ..exploration.cost_model import (
+    CostModel,
+    PaperCostModel,
+    SimulationCostModel,
+    default_cost_model,
+)
+from ..exploration.esst import run_esst
+from ..graphs.families import named_family
+from ..sim.position import Position
+from ..sim.results import StopReason
+from ..sim.schedulers import (
+    GreedyAvoidingScheduler,
+    LazyScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from ..teams.problems import TeamMember, run_sgl
+from .fitting import classify_growth, fit_power_law
+from .tables import format_records
+
+__all__ = [
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+    "FigureStructureRecord",
+    "figure_structures",
+    "figure_structures_table",
+    "RendezvousScalingRecord",
+    "rendezvous_vs_size",
+    "rendezvous_vs_size_table",
+    "LabelScalingRecord",
+    "rendezvous_vs_label",
+    "rendezvous_vs_label_table",
+    "BoundRecord",
+    "bound_scaling",
+    "bound_scaling_table",
+    "ESSTRecord",
+    "esst_scaling",
+    "esst_scaling_table",
+    "AdversaryRecord",
+    "adversary_ablation",
+    "adversary_ablation_table",
+    "TeamRecord",
+    "team_scaling",
+    "team_scaling_table",
+]
+
+
+# ----------------------------------------------------------------------
+# scheduler registry (shared by experiments, CLI and benchmarks)
+# ----------------------------------------------------------------------
+SCHEDULER_NAMES = ("round_robin", "random", "lazy", "delay_until_stop", "avoider")
+
+
+def make_scheduler(name: str, *, seed: int = 0, patience: int = 64, starved: str = "agent-2") -> Scheduler:
+    """Build one of the named adversaries used throughout the experiments."""
+    if name == "round_robin":
+        return RoundRobinScheduler()
+    if name == "random":
+        return RandomScheduler(seed=seed)
+    if name == "lazy":
+        return LazyScheduler(starved, release_after=64)
+    if name == "delay_until_stop":
+        return LazyScheduler(starved, release_after=None)
+    if name == "avoider":
+        return GreedyAvoidingScheduler(patience=patience)
+    raise ReproError(f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}")
+
+
+# ----------------------------------------------------------------------
+# F1 - F4: structure of the trajectory constructions (Figures 1 - 4)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FigureStructureRecord:
+    """One row of the figure-structure reproduction (F1–F4)."""
+
+    figure: str
+    kind: str
+    k: int
+    length: int
+    components: int
+    composition: str
+
+
+_FIGURE_OF_KIND = {"Q": "Figure 1", "Y'": "Figure 2", "Z": "Figure 3", "A'": "Figure 4"}
+
+
+def figure_structures(
+    ks: Sequence[int] = (1, 2, 3, 4),
+    model: Optional[CostModel] = None,
+) -> List[FigureStructureRecord]:
+    """Decompose Q, Y', Z and A' exactly as the paper's Figures 1–4 draw them."""
+    model = model if model is not None else default_cost_model()
+    records: List[FigureStructureRecord] = []
+    for kind in ("Q", "Y'", "Z", "A'"):
+        for k in ks:
+            structure = trajectory_structure(kind, k, model)
+            components = structure["components"]
+            if kind in ("Q", "Z"):
+                composition = " ".join(
+                    f"{component['kind']}({component['k']})" for component in components
+                )
+            else:
+                inner = components[0]
+                composition = (
+                    f"{inner['kind']}({inner['k']}) at each of the "
+                    f"{inner['repetitions']} trunk nodes + {structure['trunk_length']} trunk edges"
+                )
+            records.append(
+                FigureStructureRecord(
+                    figure=_FIGURE_OF_KIND[kind],
+                    kind=kind,
+                    k=k,
+                    length=structure["length"],
+                    components=len(components),
+                    composition=composition,
+                )
+            )
+    return records
+
+
+def figure_structures_table(records: Iterable[FigureStructureRecord]) -> str:
+    """Render the F1–F4 records as a table."""
+    return format_records(
+        records,
+        ["figure", "kind", "k", "length", "composition"],
+        title="F1-F4: structure of the trajectory constructions (paper Figures 1-4)",
+    )
+
+
+# ----------------------------------------------------------------------
+# E1: rendezvous cost versus graph size
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RendezvousScalingRecord:
+    """One measured rendezvous run (experiment E1)."""
+
+    family: str
+    n: int
+    algorithm: str
+    scheduler: str
+    labels: Tuple[int, int]
+    met: bool
+    cost: int
+    decisions: int
+
+
+def rendezvous_vs_size(
+    sizes: Sequence[int] = (4, 6, 8, 10, 12),
+    family_names: Sequence[str] = ("ring", "erdos_renyi"),
+    labels: Tuple[int, int] = (6, 11),
+    scheduler_names: Sequence[str] = ("round_robin", "avoider"),
+    algorithms: Sequence[str] = ("rv_asynch_poly", "baseline"),
+    model: Optional[CostModel] = None,
+    max_traversals: int = 2_000_000,
+    seed: int = 0,
+) -> List[RendezvousScalingRecord]:
+    """Measure cost-to-meeting versus graph size (Theorem 3.1, experiment E1)."""
+    model = model if model is not None else default_cost_model()
+    records: List[RendezvousScalingRecord] = []
+    for family in family_names:
+        for n in sizes:
+            graph = named_family(family, n, rng_seed=seed)
+            start_a = 0
+            start_b = graph.size // 2
+            for scheduler_name in scheduler_names:
+                for algorithm in algorithms:
+                    scheduler = make_scheduler(scheduler_name, seed=seed)
+                    if algorithm == "rv_asynch_poly":
+                        result = run_rendezvous(
+                            graph,
+                            [(labels[0], start_a), (labels[1], start_b)],
+                            scheduler=scheduler,
+                            model=model,
+                            max_traversals=max_traversals,
+                            on_cost_limit="return",
+                        )
+                    elif algorithm == "baseline":
+                        result = run_baseline_rendezvous(
+                            graph,
+                            [(labels[0], start_a), (labels[1], start_b)],
+                            scheduler=scheduler,
+                            model=model,
+                            max_traversals=max_traversals,
+                            on_cost_limit="return",
+                        )
+                    else:
+                        raise ReproError(f"unknown algorithm {algorithm!r}")
+                    records.append(
+                        RendezvousScalingRecord(
+                            family=family,
+                            n=graph.size,
+                            algorithm=algorithm,
+                            scheduler=scheduler_name,
+                            labels=labels,
+                            met=result.met,
+                            cost=result.cost(),
+                            decisions=result.decisions,
+                        )
+                    )
+    return records
+
+
+def rendezvous_vs_size_table(records: Iterable[RendezvousScalingRecord]) -> str:
+    """Render the E1 records as a table."""
+    return format_records(
+        records,
+        ["family", "n", "algorithm", "scheduler", "met", "cost", "decisions"],
+        title="E1: measured rendezvous cost vs graph size",
+    )
+
+
+# ----------------------------------------------------------------------
+# E2: rendezvous cost versus label magnitude / label length
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LabelScalingRecord:
+    """One row of the label-scaling experiment (E2)."""
+
+    label_small: int
+    label_length: int
+    algorithm: str
+    measured_cost: int
+    met: bool
+    guaranteed_bound: int
+
+
+def rendezvous_vs_label(
+    small_labels: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    big_label_offset: int = 1,
+    family: str = "ring",
+    n: int = 6,
+    scheduler_name: str = "delay_until_stop",
+    model: Optional[CostModel] = None,
+    bound_model: Optional[CostModel] = None,
+    max_traversals: int = 2_000_000,
+) -> List[LabelScalingRecord]:
+    """Measure and bound cost as a function of the (smaller) label (experiment E2).
+
+    For every label ``L`` the two agents carry labels ``L`` and ``L + offset``;
+    the measured run uses the requested adversary, and the guaranteed bound is
+    ``Π(n, |L|)`` for RV-asynch-poly versus ``(2P(n)+1)^L · 2P(n)`` for the
+    naive exponential baseline (its full trajectory length).
+    """
+    model = model if model is not None else default_cost_model()
+    bound_model = bound_model if bound_model is not None else model
+    graph = named_family(family, n)
+    records: List[LabelScalingRecord] = []
+    for label in small_labels:
+        other = label + big_label_offset
+        placements = [(label, 0), (other, graph.size // 2)]
+        for algorithm in ("rv_asynch_poly", "baseline"):
+            scheduler = make_scheduler(scheduler_name)
+            if algorithm == "rv_asynch_poly":
+                result = run_rendezvous(
+                    graph,
+                    placements,
+                    scheduler=scheduler,
+                    model=model,
+                    max_traversals=max_traversals,
+                    on_cost_limit="return",
+                )
+                bound = bound_model.pi_bound(graph.size, label.bit_length())
+            else:
+                result = run_baseline_rendezvous(
+                    graph,
+                    placements,
+                    scheduler=scheduler,
+                    model=model,
+                    max_traversals=max_traversals,
+                    on_cost_limit="return",
+                )
+                bound = bound_model.baseline_trajectory_length(graph.size, label)
+            records.append(
+                LabelScalingRecord(
+                    label_small=label,
+                    label_length=label.bit_length(),
+                    algorithm=algorithm,
+                    measured_cost=result.cost(),
+                    met=result.met,
+                    guaranteed_bound=bound,
+                )
+            )
+    return records
+
+
+def rendezvous_vs_label_table(records: Iterable[LabelScalingRecord]) -> str:
+    """Render the E2 records as a table."""
+    return format_records(
+        records,
+        [
+            "label_small",
+            "label_length",
+            "algorithm",
+            "met",
+            "measured_cost",
+            "guaranteed_bound",
+        ],
+        title="E2: cost vs label (measured under the delay-until-stop adversary, plus guarantees)",
+    )
+
+
+# ----------------------------------------------------------------------
+# E3: the analytic bounds (polynomial vs exponential)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoundRecord:
+    """One row of the bound-scaling experiment (E3)."""
+
+    n: int
+    label: int
+    label_length: int
+    rv_bound: int
+    baseline_bound: int
+
+
+def bound_scaling(
+    sizes: Sequence[int] = (2, 4, 8, 16, 32),
+    labels: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    model: Optional[CostModel] = None,
+) -> List[BoundRecord]:
+    """Tabulate ``Π(n, |L|)`` against the exponential baseline bound (experiment E3)."""
+    model = model if model is not None else PaperCostModel()
+    records = [
+        BoundRecord(
+            n=comparison.n,
+            label=comparison.label,
+            label_length=comparison.label_length,
+            rv_bound=comparison.rv_bound,
+            baseline_bound=comparison.baseline_bound,
+        )
+        for comparison in compare_bounds(sizes, labels, model)
+    ]
+    return records
+
+
+def bound_scaling_table(records: Iterable[BoundRecord]) -> str:
+    """Render the E3 records plus growth classifications."""
+    records = list(records)
+    table = format_records(
+        records,
+        ["n", "label", "label_length", "rv_bound", "baseline_bound"],
+        title="E3: worst-case guarantees (Theorem 3.1 vs the exponential baseline)",
+    )
+    # Growth of the bounds in the label, at the largest graph size.
+    biggest_n = max(record.n for record in records)
+    by_label = sorted(
+        (record for record in records if record.n == biggest_n),
+        key=lambda record: record.label,
+    )
+    lines = [table, ""]
+    if len(by_label) >= 3:
+        labels = [record.label for record in by_label]
+        rv = [record.rv_bound for record in by_label]
+        baseline = [record.baseline_bound for record in by_label]
+        lines.append(
+            f"growth in the label at n={biggest_n}: "
+            f"RV-asynch-poly -> {classify_growth(labels, rv)}, "
+            f"baseline -> {classify_growth(labels, baseline)}"
+        )
+    by_size = sorted(
+        {record.n: record for record in records if record.label == records[0].label}.values(),
+        key=lambda record: record.n,
+    )
+    if len(by_size) >= 3:
+        sizes = [record.n for record in by_size]
+        rv = [record.rv_bound for record in by_size]
+        fit = fit_power_law(sizes, rv)
+        lines.append(
+            f"growth in the size at L={records[0].label}: "
+            f"RV-asynch-poly bound ~ n^{fit.slope:.1f} (a polynomial)"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# E4: ESST cost versus graph size (Theorem 2.1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ESSTRecord:
+    """One stand-alone ESST run (experiment E4)."""
+
+    family: str
+    n: int
+    edges: int
+    final_phase: int
+    phase_bound: int
+    cost: int
+    all_edges_traversed: bool
+
+
+def esst_scaling(
+    sizes: Sequence[int] = (4, 5, 6, 7),
+    family_names: Sequence[str] = ("ring", "path", "erdos_renyi"),
+    model: Optional[CostModel] = None,
+    seed: int = 0,
+) -> List[ESSTRecord]:
+    """Measure Procedure ESST cost and termination phase versus graph size (E4)."""
+    model = model if model is not None else default_cost_model()
+    records: List[ESSTRecord] = []
+    for family in family_names:
+        for n in sizes:
+            graph = named_family(family, n, rng_seed=seed)
+            token_node = max(graph.nodes())
+            start = 0 if token_node != 0 else 1
+            result = run_esst(graph, start, Position.at_node(token_node), model)
+            records.append(
+                ESSTRecord(
+                    family=family,
+                    n=graph.size,
+                    edges=graph.num_edges,
+                    final_phase=result.final_phase,
+                    phase_bound=9 * graph.size + 3,
+                    cost=result.traversals,
+                    all_edges_traversed=result.all_edges_traversed,
+                )
+            )
+    return records
+
+
+def esst_scaling_table(records: Iterable[ESSTRecord]) -> str:
+    """Render the E4 records as a table."""
+    return format_records(
+        records,
+        ["family", "n", "edges", "final_phase", "phase_bound", "cost", "all_edges_traversed"],
+        title="E4: Procedure ESST (exploration with a semi-stationary token)",
+    )
+
+
+# ----------------------------------------------------------------------
+# E5: adversary ablation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdversaryRecord:
+    """One rendezvous run under one adversary (experiment E5)."""
+
+    scheduler: str
+    patience: int
+    family: str
+    n: int
+    met: bool
+    cost: int
+    decisions: int
+
+
+def adversary_ablation(
+    family: str = "ring",
+    n: int = 8,
+    labels: Tuple[int, int] = (6, 11),
+    patiences: Sequence[int] = (4, 16, 64, 256),
+    model: Optional[CostModel] = None,
+    max_traversals: int = 2_000_000,
+    seed: int = 0,
+) -> List[AdversaryRecord]:
+    """Compare adversaries, including a patience sweep for the avoiding one (E5)."""
+    model = model if model is not None else default_cost_model()
+    graph = named_family(family, n, rng_seed=seed)
+    placements = [(labels[0], 0), (labels[1], graph.size // 2)]
+    records: List[AdversaryRecord] = []
+    basic = [("round_robin", 0), ("random", 0), ("lazy", 0), ("delay_until_stop", 0)]
+    sweeps = [("avoider", patience) for patience in patiences]
+    for scheduler_name, patience in basic + sweeps:
+        scheduler = make_scheduler(scheduler_name, seed=seed, patience=max(patience, 1))
+        result = run_rendezvous(
+            graph,
+            placements,
+            scheduler=scheduler,
+            model=model,
+            max_traversals=max_traversals,
+            on_cost_limit="return",
+        )
+        records.append(
+            AdversaryRecord(
+                scheduler=scheduler_name,
+                patience=patience,
+                family=family,
+                n=graph.size,
+                met=result.met,
+                cost=result.cost(),
+                decisions=result.decisions,
+            )
+        )
+    return records
+
+
+def adversary_ablation_table(records: Iterable[AdversaryRecord]) -> str:
+    """Render the E5 records as a table."""
+    return format_records(
+        records,
+        ["scheduler", "patience", "family", "n", "met", "cost", "decisions"],
+        title="E5: adversary ablation (RV-asynch-poly)",
+    )
+
+
+# ----------------------------------------------------------------------
+# E6: the multi-agent problems (Theorem 4.1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TeamRecord:
+    """One Algorithm-SGL run for a team (experiment E6)."""
+
+    family: str
+    n: int
+    team_size: int
+    scheduler: str
+    correct: bool
+    cost: int
+    reason: str
+
+
+def team_scaling(
+    sizes: Sequence[int] = (5, 6),
+    team_sizes: Sequence[int] = (2, 3),
+    family: str = "ring",
+    scheduler_name: str = "round_robin",
+    model: Optional[CostModel] = None,
+    max_traversals: int = 6_000_000,
+    seed: int = 0,
+) -> List[TeamRecord]:
+    """Measure Algorithm SGL (hence all four §4 problems) versus n and k (E6)."""
+    model = model if model is not None else default_cost_model()
+    records: List[TeamRecord] = []
+    for n in sizes:
+        graph = named_family(family, n, rng_seed=seed)
+        nodes = sorted(graph.nodes())
+        for k in team_sizes:
+            if k > graph.size:
+                continue
+            members = [
+                TeamMember(label=3 + 2 * index, start_node=nodes[(index * graph.size) // k])
+                for index in range(k)
+            ]
+            scheduler = make_scheduler(scheduler_name, seed=seed)
+            outcome = run_sgl(
+                graph,
+                members,
+                scheduler=scheduler,
+                model=model,
+                max_traversals=max_traversals,
+                on_cost_limit="return",
+            )
+            records.append(
+                TeamRecord(
+                    family=family,
+                    n=graph.size,
+                    team_size=k,
+                    scheduler=scheduler_name,
+                    correct=outcome.correct,
+                    cost=outcome.cost,
+                    reason=outcome.result.reason,
+                )
+            )
+    return records
+
+
+def team_scaling_table(records: Iterable[TeamRecord]) -> str:
+    """Render the E6 records as a table."""
+    return format_records(
+        records,
+        ["family", "n", "team_size", "scheduler", "correct", "cost", "reason"],
+        title="E6: Algorithm SGL / team problems (team size, leader election, renaming, gossiping)",
+    )

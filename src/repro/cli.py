@@ -1,0 +1,224 @@
+"""Command-line interface: run the algorithms and the experiment suite.
+
+Examples
+--------
+Run a single rendezvous on an 8-node ring under the avoiding adversary::
+
+    repro rendezvous --family ring --size 8 --labels 6 11 --scheduler avoider
+
+Run Procedure ESST on a random graph::
+
+    repro esst --family erdos_renyi --size 7
+
+Run Algorithm SGL (and hence the four team problems) for 3 agents::
+
+    repro teams --family ring --size 6 --team-size 3
+
+Regenerate an experiment table::
+
+    repro experiment e3
+    repro experiment f1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import experiments
+from .analysis.tables import format_records
+from .core.baseline import run_baseline_rendezvous
+from .core.rendezvous import run_rendezvous
+from .exploration.cost_model import SimulationCostModel
+from .exploration.esst import run_esst
+from .graphs.families import FAMILY_BUILDERS, named_family
+from .sim.position import Position
+from .teams.problems import TeamMember, run_sgl
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'How to Meet Asynchronously at Polynomial Cost' "
+            "(Dieudonné, Pelc, Villain, PODC 2013)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--family",
+            default="ring",
+            choices=sorted(FAMILY_BUILDERS),
+            help="graph family (default: ring)",
+        )
+        sub.add_argument("--size", type=int, default=6, help="graph size (default: 6)")
+        sub.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+        sub.add_argument(
+            "--max-traversals",
+            type=int,
+            default=2_000_000,
+            help="total edge-traversal budget (default: 2,000,000)",
+        )
+
+    rendezvous = subparsers.add_parser(
+        "rendezvous", help="run Algorithm RV-asynch-poly for two agents"
+    )
+    add_common(rendezvous)
+    rendezvous.add_argument(
+        "--labels", type=int, nargs=2, default=(6, 11), help="the two agent labels"
+    )
+    rendezvous.add_argument(
+        "--scheduler",
+        default="round_robin",
+        choices=experiments.SCHEDULER_NAMES,
+        help="adversary strategy (default: round_robin)",
+    )
+    rendezvous.add_argument(
+        "--baseline",
+        action="store_true",
+        help="run the naive exponential baseline instead of RV-asynch-poly",
+    )
+
+    esst = subparsers.add_parser(
+        "esst", help="run Procedure ESST (exploration with a semi-stationary token)"
+    )
+    add_common(esst)
+    esst.add_argument(
+        "--token-node",
+        type=int,
+        default=None,
+        help="node holding the token (default: the highest-numbered node)",
+    )
+
+    teams = subparsers.add_parser(
+        "teams", help="run Algorithm SGL and the four team problems"
+    )
+    add_common(teams)
+    teams.add_argument("--team-size", type=int, default=3, help="number of agents (default: 3)")
+    teams.add_argument(
+        "--scheduler",
+        default="round_robin",
+        choices=experiments.SCHEDULER_NAMES,
+        help="adversary strategy (default: round_robin)",
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the experiment tables (EXPERIMENTS.md)"
+    )
+    experiment.add_argument(
+        "name",
+        choices=["f1", "e1", "e2", "e3", "e4", "e5", "e6"],
+        help="experiment identifier",
+    )
+    return parser
+
+
+def _run_rendezvous(args: argparse.Namespace) -> int:
+    graph = named_family(args.family, args.size, rng_seed=args.seed)
+    model = SimulationCostModel()
+    scheduler = experiments.make_scheduler(args.scheduler, seed=args.seed)
+    placements = [(args.labels[0], 0), (args.labels[1], graph.size // 2)]
+    runner = run_baseline_rendezvous if args.baseline else run_rendezvous
+    result = runner(
+        graph,
+        placements,
+        scheduler=scheduler,
+        model=model,
+        max_traversals=args.max_traversals,
+        on_cost_limit="return",
+    )
+    algorithm = "naive exponential baseline" if args.baseline else "RV-asynch-poly"
+    print(f"graph: {graph.name} ({graph.size} nodes, {graph.num_edges} edges)")
+    print(f"algorithm: {algorithm}; adversary: {args.scheduler}")
+    print(f"result: {result.summary()}")
+    return 0 if result.met else 1
+
+
+def _run_esst(args: argparse.Namespace) -> int:
+    graph = named_family(args.family, args.size, rng_seed=args.seed)
+    model = SimulationCostModel()
+    token_node = args.token_node if args.token_node is not None else max(graph.nodes())
+    start = 0 if token_node != 0 else 1
+    result = run_esst(graph, start, Position.at_node(token_node), model)
+    print(f"graph: {graph.name} ({graph.size} nodes, {graph.num_edges} edges)")
+    print(f"token at node {token_node}, agent starts at node {start}")
+    print(
+        f"ESST finished in phase {result.final_phase} "
+        f"(bound 9n+3 = {9 * graph.size + 3}) after {result.traversals} edge traversals"
+    )
+    print(f"all edges traversed: {result.all_edges_traversed}")
+    return 0 if result.all_edges_traversed else 1
+
+
+def _run_teams(args: argparse.Namespace) -> int:
+    graph = named_family(args.family, args.size, rng_seed=args.seed)
+    model = SimulationCostModel()
+    nodes = sorted(graph.nodes())
+    k = args.team_size
+    members = [
+        TeamMember(label=3 + 2 * index, start_node=nodes[(index * graph.size) // k])
+        for index in range(k)
+    ]
+    scheduler = experiments.make_scheduler(args.scheduler, seed=args.seed)
+    outcome = run_sgl(
+        graph,
+        members,
+        scheduler=scheduler,
+        model=model,
+        max_traversals=args.max_traversals,
+        on_cost_limit="return",
+    )
+    labels = sorted(member.label for member in members)
+    print(f"graph: {graph.name}; team labels: {labels}")
+    print(f"all agents output: {outcome.all_output}; outputs correct: {outcome.correct}")
+    print(f"total cost (edge traversals until every agent output): {outcome.cost}")
+    if outcome.correct:
+        print(f"team size: {len(labels)}; leader: {min(labels)}")
+        renaming = {label: rank + 1 for rank, label in enumerate(labels)}
+        print(f"perfect renaming: {renaming}")
+    return 0 if outcome.correct else 1
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "f1":
+        print(experiments.figure_structures_table(experiments.figure_structures()))
+    elif name == "e1":
+        print(experiments.rendezvous_vs_size_table(experiments.rendezvous_vs_size()))
+    elif name == "e2":
+        print(experiments.rendezvous_vs_label_table(experiments.rendezvous_vs_label()))
+    elif name == "e3":
+        print(experiments.bound_scaling_table(experiments.bound_scaling()))
+    elif name == "e4":
+        print(experiments.esst_scaling_table(experiments.esst_scaling()))
+    elif name == "e5":
+        print(experiments.adversary_ablation_table(experiments.adversary_ablation()))
+    elif name == "e6":
+        print(experiments.team_scaling_table(experiments.team_scaling()))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "rendezvous":
+        return _run_rendezvous(args)
+    if args.command == "esst":
+        return _run_esst(args)
+    if args.command == "teams":
+        return _run_teams(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

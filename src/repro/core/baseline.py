@@ -1,0 +1,128 @@
+"""The exponential-cost baseline algorithm (start of §3).
+
+Before presenting RV-asynch-poly, the paper sketches the "naive" use of the
+integral-trajectory observation: an agent with label ``L`` starting at node
+``v`` of a graph of **known** size ``n`` follows the trajectory
+
+    ``(R(n, v) R̄(n, v)) ^ (2 P(n) + 1) ^ L``   (i.e. ``X(n, v)`` repeated
+    ``(2 P(n) + 1)^L`` times)
+
+and then stops.  The number of integral trajectories performed by the agent
+with the larger label exceeds the total number of edge traversals of the
+smaller agent's whole trajectory, so a meeting is guaranteed — but the cost is
+exponential in the label ``L`` and the algorithm needs to know ``n``.  This is
+representative of the prior state of the art ([17, 18] are exponential in the
+size of the graph and in the larger label).
+
+This module implements that baseline so the experiments can exhibit the
+exponential-versus-polynomial separation that is the paper's headline result
+(experiments E1–E3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..exceptions import LabelError
+from ..exploration.cost_model import CostModel, default_cost_model
+from ..exploration.walker import Tape, WalkProgram
+from ..graphs.port_graph import PortLabeledGraph
+from ..sim.actions import Observation
+from ..sim.agent import AgentController, AgentProgram
+from ..sim.engine import AgentSpec, AsyncEngine
+from ..sim.results import RunResult
+from ..sim.schedulers import RoundRobinScheduler, Scheduler
+from .labels import validate_label
+from .trajectories import traj_X
+
+__all__ = [
+    "baseline_route",
+    "BaselineController",
+    "run_baseline_rendezvous",
+]
+
+
+def baseline_route(
+    label: int,
+    known_size: int,
+    model: CostModel,
+    observation: Observation,
+) -> WalkProgram:
+    """The finite walk of the naive algorithm: ``X(n, v)`` repeated ``(2P(n)+1)^L`` times.
+
+    The generator returns (and hence the agent stops) after the last
+    repetition; the stopped agent remains at its starting node and can still
+    be met by the other agent.
+    """
+    validate_label(label)
+    if known_size < 1:
+        raise LabelError("the baseline needs a size bound of at least 1")
+    tape = Tape()
+    repetitions = model.baseline_repetitions(known_size, label)
+    obs = observation
+    for _ in range(repetitions):
+        obs = yield from traj_X(known_size, model, tape, obs)
+    return obs
+
+
+class BaselineController(AgentController):
+    """Controller running the naive exponential algorithm with a known size bound."""
+
+    def __init__(
+        self,
+        name: str,
+        label: int,
+        known_size: int,
+        model: Optional[CostModel] = None,
+    ) -> None:
+        super().__init__(name, validate_label(label))
+        self._model = model if model is not None else default_cost_model()
+        self._known_size = known_size
+        self.public["label"] = label
+        self.public["algorithm"] = "naive-exponential"
+
+    @property
+    def known_size(self) -> int:
+        """The size bound the agent was given (the baseline requires one)."""
+        return self._known_size
+
+    def start(self, observation: Observation) -> AgentProgram:
+        return baseline_route(self.label, self._known_size, self._model, observation)
+
+
+def run_baseline_rendezvous(
+    graph: PortLabeledGraph,
+    placements: Iterable[Tuple[int, int]],
+    known_size: Optional[int] = None,
+    scheduler: Optional[Scheduler] = None,
+    model: Optional[CostModel] = None,
+    max_traversals: int = 2_000_000,
+    on_cost_limit: str = "raise",
+) -> RunResult:
+    """Run the naive exponential algorithm for two agents and return the result.
+
+    ``known_size`` defaults to the true size of the graph (the baseline is
+    allowed to know it; RV-asynch-poly is not).
+    """
+    placements = list(placements)
+    if len(placements) != 2:
+        raise LabelError("rendezvous involves exactly two agents")
+    (label_a, start_a), (label_b, start_b) = placements
+    if label_a == label_b:
+        raise LabelError("the two agents must have distinct labels")
+    model = model if model is not None else default_cost_model()
+    size_bound = known_size if known_size is not None else graph.size
+    controller_a = BaselineController("agent-1", label_a, size_bound, model)
+    controller_b = BaselineController("agent-2", label_b, size_bound, model)
+    engine = AsyncEngine(
+        graph,
+        [
+            AgentSpec(controller_a, start_a),
+            AgentSpec(controller_b, start_b),
+        ],
+        scheduler if scheduler is not None else RoundRobinScheduler(),
+        rendezvous=("agent-1", "agent-2"),
+        max_traversals=max_traversals,
+        on_cost_limit=on_cost_limit,
+    )
+    return engine.run()

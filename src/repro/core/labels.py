@@ -1,0 +1,99 @@
+"""Agent labels and the prefix-free label transformation of §3.1.
+
+Agents carry distinct labels which are strictly positive integers.  Algorithm
+RV-asynch-poly does not process the binary representation of the label
+directly; it first applies the *modified label* transformation: if
+``x = (c1 c2 ... cr)`` is the binary representation of the label, the modified
+label is ``M(x) = (c1 c1 c2 c2 ... cr cr 0 1)`` — every bit doubled, followed
+by the delimiter ``01``.
+
+Two properties of ``M`` are what the algorithm exploits (and what the tests
+verify):
+
+* ``M(x)`` is never a prefix of ``M(y)`` for ``x ≠ y`` — so two distinct
+  labels disagree at some position that both modified labels possess;
+* ``M`` is injective.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..exceptions import LabelError
+
+__all__ = [
+    "validate_label",
+    "binary_bits",
+    "label_length",
+    "modified_label",
+    "modified_label_length",
+    "first_difference",
+]
+
+
+def validate_label(label: int) -> int:
+    """Validate that ``label`` is a strictly positive integer and return it."""
+    if not isinstance(label, int) or isinstance(label, bool):
+        raise LabelError(f"labels must be integers, got {label!r}")
+    if label < 1:
+        raise LabelError(f"labels must be strictly positive, got {label}")
+    return label
+
+
+def binary_bits(label: int) -> Tuple[int, ...]:
+    """Return the binary representation of ``label`` as a tuple of bits.
+
+    Most significant bit first; there are no leading zeros, so the length of
+    the result is ``|label| = ceil(log2(label + 1))`` — the paper's ``|x|``.
+    """
+    validate_label(label)
+    return tuple(int(bit) for bit in bin(label)[2:])
+
+
+def label_length(label: int) -> int:
+    """Return ``|label|``: the length of the binary representation."""
+    return len(binary_bits(label))
+
+
+def modified_label(label: int) -> Tuple[int, ...]:
+    """Return the modified label ``M(x)`` of §3.1 as a tuple of bits.
+
+    Every bit of the binary representation is doubled and the two-bit
+    delimiter ``01`` is appended, so the result has length ``2 |label| + 2``.
+    """
+    bits = binary_bits(label)
+    doubled: List[int] = []
+    for bit in bits:
+        doubled.append(bit)
+        doubled.append(bit)
+    doubled.append(0)
+    doubled.append(1)
+    return tuple(doubled)
+
+
+def modified_label_length(label: int) -> int:
+    """Return the length of ``M(label)`` (always ``2 |label| + 2``)."""
+    return 2 * label_length(label) + 2
+
+
+def first_difference(label_a: int, label_b: int) -> int:
+    """Return the 1-based index of the first position where ``M(a)`` and ``M(b)`` differ.
+
+    The paper's analysis (proof of Theorem 3.1) relies on the existence of a
+    position ``λ`` with ``1 < λ ≤ l`` (``l`` the length of the shorter
+    modified label) at which the two modified labels disagree; this function
+    computes it.  Raises :class:`LabelError` if the labels are equal.
+    """
+    if label_a == label_b:
+        raise LabelError("agents must have distinct labels")
+    code_a = modified_label(label_a)
+    code_b = modified_label(label_b)
+    limit = min(len(code_a), len(code_b))
+    for index in range(limit):
+        if code_a[index] != code_b[index]:
+            return index + 1
+    # Unreachable: M(x) is never a prefix of M(y) for distinct labels.
+    raise LabelError(
+        "modified labels do not differ within the shorter one; "
+        "this contradicts the prefix-freeness of the transformation"
+    )

@@ -1,0 +1,165 @@
+"""Algorithm RV-asynch-poly — the paper's main contribution (§3.1).
+
+An agent with label ``L`` transforms ``L`` into its modified label
+``M(L) = (b1 b2 ... bs)`` and then, for ``k = 1, 2, 3, ...``, processes the
+first ``min(k, s)`` bits of the modified label:
+
+* processing bit 1 means following the trajectory ``B(2k, v)`` twice,
+* processing bit 0 means following the trajectory ``A(4k, v)`` twice,
+* consecutive bits within the same iteration are separated by a *border*
+  ``K(k, v)``,
+* the last bit of the iteration is followed by a *fence* ``Ω(k, v)``,
+
+all anchored at the agent's starting node ``v``.  The trajectory never ends on
+its own — the algorithm runs "until rendezvous" — so the agent program here is
+an infinite generator; the execution engine stops it when the meeting occurs.
+
+Theorem 3.1 guarantees that two agents running this algorithm in a graph of
+size ``n`` meet before either performs ``Π(n, min(|L1|, |L2|))`` edge
+traversals, a polynomial in ``n`` and in the length of the smaller label.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..exceptions import LabelError
+from ..exploration.cost_model import CostModel, default_cost_model
+from ..exploration.walker import Tape, WalkProgram
+from ..graphs.port_graph import PortLabeledGraph
+from ..sim.actions import Observation
+from ..sim.agent import AgentController, AgentProgram
+from ..sim.engine import AgentSpec, AsyncEngine
+from ..sim.results import RunResult
+from ..sim.schedulers import RoundRobinScheduler, Scheduler
+from .labels import modified_label, validate_label
+from .trajectories import traj_A, traj_B, traj_K, traj_Omega
+
+__all__ = [
+    "rv_route",
+    "RendezvousController",
+    "run_rendezvous",
+]
+
+
+def rv_route(
+    label: int,
+    model: CostModel,
+    observation: Observation,
+    tape: Optional[Tape] = None,
+) -> WalkProgram:
+    """The (infinite) walk generator of Algorithm RV-asynch-poly.
+
+    Parameters
+    ----------
+    label:
+        The agent's label ``L`` (a strictly positive integer).
+    model:
+        Cost model providing the exploration sequences and repetition counts.
+    observation:
+        The observation at the agent's starting node.
+    tape:
+        Optional pre-existing :class:`Tape`; by default a fresh one is used.
+        (Algorithm SGL passes the traveller's tape so the walk can be resumed
+        after the explorer interlude.)
+
+    The generator yields :class:`~repro.sim.actions.Move` actions forever; it
+    is the engine's (or the caller's) responsibility to stop pulling from it
+    once the rendezvous has happened.
+    """
+    validate_label(label)
+    bits = modified_label(label)
+    s = len(bits)
+    walk_tape = tape if tape is not None else Tape()
+    obs = observation
+    k = 1
+    while True:
+        limit = min(k, s)
+        i = 1
+        while i <= limit:
+            if bits[i - 1] == 1:
+                for _ in range(2):
+                    obs = yield from traj_B(2 * k, model, walk_tape, obs)
+            else:
+                for _ in range(2):
+                    obs = yield from traj_A(4 * k, model, walk_tape, obs)
+            if limit > i:
+                obs = yield from traj_K(k, model, walk_tape, obs)
+            else:
+                obs = yield from traj_Omega(k, model, walk_tape, obs)
+            i += 1
+        k += 1
+
+
+class RendezvousController(AgentController):
+    """Controller running Algorithm RV-asynch-poly with a given label."""
+
+    def __init__(
+        self,
+        name: str,
+        label: int,
+        model: Optional[CostModel] = None,
+    ) -> None:
+        super().__init__(name, validate_label(label))
+        self._model = model if model is not None else default_cost_model()
+        self.public["label"] = label
+        self.public["algorithm"] = "RV-asynch-poly"
+
+    @property
+    def model(self) -> CostModel:
+        """The cost model the agent runs under."""
+        return self._model
+
+    def start(self, observation: Observation) -> AgentProgram:
+        return rv_route(self.label, self._model, observation)
+
+
+def run_rendezvous(
+    graph: PortLabeledGraph,
+    placements: Iterable[Tuple[int, int]],
+    scheduler: Optional[Scheduler] = None,
+    model: Optional[CostModel] = None,
+    max_traversals: int = 2_000_000,
+    on_cost_limit: str = "raise",
+) -> RunResult:
+    """Run Algorithm RV-asynch-poly for two agents and return the result.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    placements:
+        Exactly two ``(label, start_node)`` pairs.  Labels must be distinct
+        and start nodes must be distinct (the paper's setting).
+    scheduler:
+        Adversary strategy; defaults to a fair round-robin.
+    model:
+        Cost model; defaults to :func:`default_cost_model`.
+    max_traversals, on_cost_limit:
+        Passed to :class:`AsyncEngine`.
+
+    Returns the engine's :class:`RunResult`; ``result.met`` indicates whether
+    the agents met and ``result.cost()`` is the total number of edge
+    traversals at the meeting.
+    """
+    placements = list(placements)
+    if len(placements) != 2:
+        raise LabelError("rendezvous involves exactly two agents")
+    (label_a, start_a), (label_b, start_b) = placements
+    if label_a == label_b:
+        raise LabelError("the two agents must have distinct labels")
+    model = model if model is not None else default_cost_model()
+    controller_a = RendezvousController("agent-1", label_a, model)
+    controller_b = RendezvousController("agent-2", label_b, model)
+    engine = AsyncEngine(
+        graph,
+        [
+            AgentSpec(controller_a, start_a),
+            AgentSpec(controller_b, start_b),
+        ],
+        scheduler if scheduler is not None else RoundRobinScheduler(),
+        rendezvous=("agent-1", "agent-2"),
+        max_traversals=max_traversals,
+        on_cost_limit=on_cost_limit,
+    )
+    return engine.run()

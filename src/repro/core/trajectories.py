@@ -1,0 +1,343 @@
+"""The trajectory constructions of §3.1 (Definitions 3.1 – 3.8).
+
+Every construction is implemented as a *walk generator*: a generator that
+yields :class:`~repro.sim.actions.Move` actions, receives
+:class:`~repro.sim.actions.Observation` objects, and returns the observation
+at its final node.  The generators compose with ``yield from`` exactly the way
+the paper's definitions compose trajectories, and they are lazy — only the
+moves an agent actually performs before meeting are ever produced, which is
+what makes executing these (astronomically long) trajectories feasible.
+
+Summary of the constructions (``v`` is the node where the walk starts):
+
+* ``R(k, v)``   — the exploration walk of length ``P(k)`` (§2);
+* ``X(k, v)``   — ``R(k, v)`` followed by a backtrack (Definition 3.1);
+* ``Q(k, v)``   — ``X(1, v) X(2, v) ... X(k, v)`` (Definition 3.2);
+* ``Y'(k, v)``  — follow ``R(k, v)``, inserting ``Q(k, ·)`` at every node of
+  the trunk before each step and after the last (Definition 3.3, Figure 2);
+* ``Y(k, v)``   — ``Y'(k, v)`` followed by a backtrack (Definition 3.3);
+* ``Z(k, v)``   — ``Y(1, v) ... Y(k, v)`` (Definition 3.4, Figure 3);
+* ``A'(k, v)``  — like ``Y'`` with ``Z(k, ·)`` insertions (Def. 3.5, Fig. 4);
+* ``A(k, v)``   — ``A'(k, v)`` followed by a backtrack (Definition 3.5);
+* ``B(k, v)``   — ``Y(k, v)`` repeated ``2 |A(4k)|`` times (Definition 3.6);
+* ``K(k, v)``   — ``X(k, v)`` repeated ``2(|B(4k)| + |A(8k)|)`` times
+  (Definition 3.7);
+* ``Ω(k, v)``   — ``X(k, v)`` repeated ``(2k - 1) |K(k)|`` times (Def. 3.8).
+
+All of X, Q, Y, Z, A, B, K and Ω start **and end** at the node where they are
+invoked, which is why Algorithm RV-asynch-poly can chain them freely from the
+agent's starting node.
+
+The exact number of edge traversals of each construction is available without
+executing it from :class:`~repro.exploration.cost_model.CostModel`
+(``len_X``, ``len_Q``, ...); the test suite checks that the generators and the
+closed forms agree.
+
+:func:`trajectory_structure` produces the structural decompositions used to
+regenerate the paper's Figures 1–4 (experiment F1–F4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import ExplorationError
+from ..exploration.cost_model import CostModel
+from ..exploration.uxs import next_port
+from ..exploration.walker import Tape, WalkProgram, backtrack, follow_exploration, step
+from ..sim.actions import Observation
+
+__all__ = [
+    "traj_R",
+    "traj_X",
+    "traj_Q",
+    "traj_Y_prime",
+    "traj_Y",
+    "traj_Z",
+    "traj_A_prime",
+    "traj_A",
+    "traj_B",
+    "traj_K",
+    "traj_Omega",
+    "trajectory_structure",
+    "TRAJECTORY_KINDS",
+]
+
+
+# ----------------------------------------------------------------------
+# elementary walks
+# ----------------------------------------------------------------------
+def traj_R(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``R(k, ·)`` from the current node (the walk of §2)."""
+    obs = yield from follow_exploration(tape, model.uxs_terms(k), obs)
+    return obs
+
+
+def traj_X(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``X(k, ·) = R(k, ·)`` then backtrack (Definition 3.1)."""
+    mark = tape.mark()
+    obs = yield from traj_R(k, model, tape, obs)
+    obs = yield from backtrack(tape, mark, obs)
+    return obs
+
+
+def traj_Q(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``Q(k, ·) = X(1, ·) X(2, ·) ... X(k, ·)`` (Definition 3.2)."""
+    for i in range(1, k + 1):
+        obs = yield from traj_X(i, model, tape, obs)
+    return obs
+
+
+# ----------------------------------------------------------------------
+# trunk walks with insertions
+# ----------------------------------------------------------------------
+def _trunk_with_insertions(
+    k: int,
+    model: CostModel,
+    tape: Tape,
+    obs: Observation,
+    insertion,
+) -> WalkProgram:
+    """Follow ``R(k, ·)`` but run ``insertion`` at every node of the trunk.
+
+    ``insertion(model, tape, obs)`` must be a walk generator that returns the
+    agent to the node where it was invoked.  The trunk steps use the entry
+    ports of the *trunk walk itself* (not those of the detours), so the node
+    sequence of the trunk is exactly ``R(k, v)``, as Definitions 3.3 and 3.5
+    require.
+    """
+    trunk_entry: object = None  # a fresh R(k, v) application starts from port base 0
+    for increment in model.uxs_terms(k):
+        obs = yield from insertion(model, tape, obs)
+        port = next_port(trunk_entry, increment, obs.degree)
+        obs = yield from step(tape, port)
+        trunk_entry = obs.entry_port
+    obs = yield from insertion(model, tape, obs)
+    return obs
+
+
+def traj_Y_prime(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``Y'(k, ·)`` (Definition 3.3, Figure 2)."""
+
+    def insertion(model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+        obs = yield from traj_Q(k, model, tape, obs)
+        return obs
+
+    obs = yield from _trunk_with_insertions(k, model, tape, obs, insertion)
+    return obs
+
+
+def traj_Y(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``Y(k, ·) = Y'(k, ·)`` then backtrack (Definition 3.3)."""
+    mark = tape.mark()
+    obs = yield from traj_Y_prime(k, model, tape, obs)
+    obs = yield from backtrack(tape, mark, obs)
+    return obs
+
+
+def traj_Z(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``Z(k, ·) = Y(1, ·) Y(2, ·) ... Y(k, ·)`` (Definition 3.4)."""
+    for i in range(1, k + 1):
+        obs = yield from traj_Y(i, model, tape, obs)
+    return obs
+
+
+def traj_A_prime(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``A'(k, ·)`` (Definition 3.5, Figure 4)."""
+
+    def insertion(model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+        obs = yield from traj_Z(k, model, tape, obs)
+        return obs
+
+    obs = yield from _trunk_with_insertions(k, model, tape, obs, insertion)
+    return obs
+
+
+def traj_A(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``A(k, ·) = A'(k, ·)`` then backtrack (Definition 3.5)."""
+    mark = tape.mark()
+    obs = yield from traj_A_prime(k, model, tape, obs)
+    obs = yield from backtrack(tape, mark, obs)
+    return obs
+
+
+# ----------------------------------------------------------------------
+# repetition-based trajectories
+# ----------------------------------------------------------------------
+def traj_B(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``B(k, ·) = Y(k, ·)`` repeated ``2 |A(4k)|`` times (Def. 3.6)."""
+    for _ in range(model.repetitions_B(k)):
+        obs = yield from traj_Y(k, model, tape, obs)
+    return obs
+
+
+def traj_K(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``K(k, ·) = X(k, ·)`` repeated ``2(|B(4k)|+|A(8k)|)`` times (Def. 3.7)."""
+    for _ in range(model.repetitions_K(k)):
+        obs = yield from traj_X(k, model, tape, obs)
+    return obs
+
+
+def traj_Omega(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
+    """Follow ``Ω(k, ·) = X(k, ·)`` repeated ``(2k-1) |K(k)|`` times (Def. 3.8)."""
+    for _ in range(model.repetitions_Omega(k)):
+        obs = yield from traj_X(k, model, tape, obs)
+    return obs
+
+
+#: Mapping from trajectory kind name to (generator, length function name).
+TRAJECTORY_KINDS = {
+    "R": traj_R,
+    "X": traj_X,
+    "Q": traj_Q,
+    "Y'": traj_Y_prime,
+    "Y": traj_Y,
+    "Z": traj_Z,
+    "A'": traj_A_prime,
+    "A": traj_A,
+    "B": traj_B,
+    "K": traj_K,
+    "Omega": traj_Omega,
+}
+
+
+# ----------------------------------------------------------------------
+# structural decomposition (Figures 1 - 4)
+# ----------------------------------------------------------------------
+def trajectory_structure(kind: str, k: int, model: CostModel) -> Dict[str, object]:
+    """Return the structural decomposition of a trajectory, without executing it.
+
+    The result describes the trajectory the way the paper's Figures 1–4 do:
+    which sub-trajectories it is made of, how many times each is repeated, and
+    the exact length of everything.  Used by experiment F1–F4 and by the
+    structural tests.
+    """
+    if k < 1:
+        raise ExplorationError("trajectory parameter must be >= 1")
+    if kind == "R":
+        return {"kind": "R", "k": k, "length": model.len_R(k), "components": []}
+    if kind == "X":
+        return {
+            "kind": "X",
+            "k": k,
+            "length": model.len_X(k),
+            "components": [
+                {"kind": "R", "k": k, "length": model.len_R(k)},
+                {"kind": "reverse(R)", "k": k, "length": model.len_R(k)},
+            ],
+        }
+    if kind == "Q":
+        return {
+            "kind": "Q",
+            "k": k,
+            "length": model.len_Q(k),
+            "components": [
+                {"kind": "X", "k": i, "length": model.len_X(i)} for i in range(1, k + 1)
+            ],
+        }
+    if kind == "Y'":
+        trunk_nodes = model.P(k) + 1
+        return {
+            "kind": "Y'",
+            "k": k,
+            "length": model.len_Y_prime(k),
+            "trunk_length": model.P(k),
+            "components": [
+                {
+                    "kind": "Q",
+                    "k": k,
+                    "length": model.len_Q(k),
+                    "repetitions": trunk_nodes,
+                },
+                {"kind": "trunk edges", "k": k, "length": model.P(k)},
+            ],
+        }
+    if kind == "Y":
+        return {
+            "kind": "Y",
+            "k": k,
+            "length": model.len_Y(k),
+            "components": [
+                {"kind": "Y'", "k": k, "length": model.len_Y_prime(k)},
+                {"kind": "reverse(Y')", "k": k, "length": model.len_Y_prime(k)},
+            ],
+        }
+    if kind == "Z":
+        return {
+            "kind": "Z",
+            "k": k,
+            "length": model.len_Z(k),
+            "components": [
+                {"kind": "Y", "k": i, "length": model.len_Y(i)} for i in range(1, k + 1)
+            ],
+        }
+    if kind == "A'":
+        trunk_nodes = model.P(k) + 1
+        return {
+            "kind": "A'",
+            "k": k,
+            "length": model.len_A_prime(k),
+            "trunk_length": model.P(k),
+            "components": [
+                {
+                    "kind": "Z",
+                    "k": k,
+                    "length": model.len_Z(k),
+                    "repetitions": trunk_nodes,
+                },
+                {"kind": "trunk edges", "k": k, "length": model.P(k)},
+            ],
+        }
+    if kind == "A":
+        return {
+            "kind": "A",
+            "k": k,
+            "length": model.len_A(k),
+            "components": [
+                {"kind": "A'", "k": k, "length": model.len_A_prime(k)},
+                {"kind": "reverse(A')", "k": k, "length": model.len_A_prime(k)},
+            ],
+        }
+    if kind == "B":
+        return {
+            "kind": "B",
+            "k": k,
+            "length": model.len_B(k),
+            "components": [
+                {
+                    "kind": "Y",
+                    "k": k,
+                    "length": model.len_Y(k),
+                    "repetitions": model.repetitions_B(k),
+                }
+            ],
+        }
+    if kind == "K":
+        return {
+            "kind": "K",
+            "k": k,
+            "length": model.len_K(k),
+            "components": [
+                {
+                    "kind": "X",
+                    "k": k,
+                    "length": model.len_X(k),
+                    "repetitions": model.repetitions_K(k),
+                }
+            ],
+        }
+    if kind in ("Omega", "Ω"):
+        return {
+            "kind": "Omega",
+            "k": k,
+            "length": model.len_Omega(k),
+            "components": [
+                {
+                    "kind": "X",
+                    "k": k,
+                    "length": model.len_X(k),
+                    "repetitions": model.repetitions_Omega(k),
+                }
+            ],
+        }
+    raise ExplorationError(f"unknown trajectory kind {kind!r}")

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A port-labeled graph is malformed or an operation on it is invalid."""
+
+
+class InvalidPortError(GraphError):
+    """A port number outside ``{0, ..., deg(v) - 1}`` was used at a node."""
+
+
+class LabelError(ReproError):
+    """An agent label is invalid (labels must be strictly positive integers)."""
+
+
+class SimulationError(ReproError):
+    """The asynchronous execution engine reached an inconsistent state."""
+
+
+class SchedulerError(SimulationError):
+    """An adversarial scheduler produced an illegal decision."""
+
+
+class CostLimitExceeded(SimulationError):
+    """A simulation exceeded its configured cost (edge-traversal) budget.
+
+    The exception carries the partial result so callers can inspect how far
+    the run progressed before the budget ran out.
+    """
+
+    def __init__(self, message: str, partial_result=None):
+        super().__init__(message)
+        self.partial_result = partial_result
+
+
+class ExplorationError(ReproError):
+    """An exploration procedure (UXS walk, ESST) failed or was misused."""
+
+
+class ProtocolError(ReproError):
+    """An agent program violated the engine's action protocol."""

@@ -1,0 +1,59 @@
+"""Graph exploration substrate: exploration sequences, cost model, ESST.
+
+Public API
+----------
+* :class:`~repro.exploration.uxs.PseudoRandomUXS`,
+  :func:`~repro.exploration.uxs.walk_trajectory`,
+  :func:`~repro.exploration.uxs.is_integral`
+* :class:`~repro.exploration.cost_model.CostModel`,
+  :class:`~repro.exploration.cost_model.SimulationCostModel`,
+  :class:`~repro.exploration.cost_model.PaperCostModel`
+* walker primitives: :class:`~repro.exploration.walker.Tape`,
+  :func:`~repro.exploration.walker.step`,
+  :func:`~repro.exploration.walker.backtrack`,
+  :func:`~repro.exploration.walker.follow_exploration`
+* Procedure ESST: :func:`~repro.exploration.esst.run_esst`,
+  :func:`~repro.exploration.esst.esst_procedure`
+"""
+
+from .uxs import (
+    ExplicitUXS,
+    PseudoRandomUXS,
+    UXSProvider,
+    WalkResult,
+    first_covering_prefix,
+    is_integral,
+    next_port,
+    walk_trajectory,
+)
+from .cost_model import (
+    CostModel,
+    PaperCostModel,
+    SimulationCostModel,
+    default_cost_model,
+)
+from .walker import Tape, backtrack, follow_exploration, step
+from .esst import ESSTResult, TokenTracker, esst_procedure, run_esst
+
+__all__ = [
+    "ESSTResult",
+    "TokenTracker",
+    "esst_procedure",
+    "run_esst",
+    "ExplicitUXS",
+    "PseudoRandomUXS",
+    "UXSProvider",
+    "WalkResult",
+    "first_covering_prefix",
+    "is_integral",
+    "next_port",
+    "walk_trajectory",
+    "CostModel",
+    "PaperCostModel",
+    "SimulationCostModel",
+    "default_cost_model",
+    "Tape",
+    "backtrack",
+    "follow_exploration",
+    "step",
+]

@@ -1,0 +1,115 @@
+"""Generator building blocks for agent programs.
+
+Agent programs in this library are Python generators that yield
+:class:`~repro.sim.actions.Move` actions and receive
+:class:`~repro.sim.actions.Observation` objects.  The paper's trajectory
+constructions constantly do two things:
+
+* follow an exploration walk ``R(k, ·)`` forward, and
+* *backtrack* — retrace a stretch of the walk in reverse.
+
+Backtracking only needs the ports by which the agent *entered* each node of
+the stretch: re-taking those ports in reverse order retraces the path.  The
+:class:`Tape` records exactly that, and :func:`backtrack` replays a recorded
+slice.  Because backtracking moves are themselves recorded on the tape, a
+later, outer backtrack (e.g. the reversal of ``A'`` which internally contains
+reversals of ``Y'``) retraces the full node path, exactly as in the paper's
+definitions.
+
+All helpers are written with ``yield from`` composition in mind, so the
+nested trajectory definitions of §3.1 translate almost literally into code
+(see :mod:`repro.core.trajectories`).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from ..exceptions import ExplorationError
+from ..sim.actions import Action, Move, Observation
+from .uxs import next_port
+
+__all__ = ["Tape", "step", "backtrack", "follow_exploration", "WalkProgram"]
+
+#: Type alias of the generator protocol used by agent programs: yields
+#: actions, receives observations, returns a value when the sub-walk is done.
+WalkProgram = Generator[Action, Observation, Observation]
+
+
+class Tape:
+    """Record of the entry ports of every move an agent has made.
+
+    The tape is append-only; sub-walks remember ``len(tape)`` when they start
+    and can later be reversed with :func:`backtrack`.
+    """
+
+    __slots__ = ("entry_ports",)
+
+    def __init__(self) -> None:
+        self.entry_ports: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.entry_ports)
+
+    def mark(self) -> int:
+        """Return the current length, to be used later as a backtrack mark."""
+        return len(self.entry_ports)
+
+    def slice_since(self, mark: int) -> Sequence[int]:
+        """Return the entry ports recorded since ``mark`` (oldest first)."""
+        return self.entry_ports[mark:]
+
+
+def step(tape: Tape, port: int) -> WalkProgram:
+    """Perform one edge traversal through ``port`` and record it on ``tape``.
+
+    Returns the observation at the node reached.
+    """
+    observation = yield Move(port)
+    if observation.entry_port is None:
+        raise ExplorationError(
+            "engine returned an observation without an entry port after a move"
+        )
+    tape.entry_ports.append(observation.entry_port)
+    return observation
+
+
+def backtrack(tape: Tape, mark: int, observation: Observation) -> WalkProgram:
+    """Retrace, in reverse, every move recorded on ``tape`` since ``mark``.
+
+    The agent ends up where it was when the tape had length ``mark``.  The
+    backtracking moves are themselves appended to the tape (they are moves),
+    which is what makes nested reversals — ``A(k) = A'(k)`` followed by the
+    reverse of ``A'(k)``, where ``A'`` internally contains reversals — behave
+    exactly like the paper's definitions.
+    """
+    ports = list(tape.slice_since(mark))
+    for port in reversed(ports):
+        observation = yield from step(tape, port)
+    return observation
+
+
+def follow_exploration(
+    tape: Tape,
+    increments: Sequence[int],
+    observation: Observation,
+    initial_entry_port: Optional[int] = None,
+) -> WalkProgram:
+    """Follow the UXS walk defined by ``increments`` from the current node.
+
+    This is the on-line, agent-side counterpart of
+    :func:`repro.exploration.uxs.walk_trajectory`: after entering a node of
+    degree ``d`` by port ``p`` the agent exits by ``(p + x_i) mod d``.  A fresh
+    application of ``R(k, v)`` is a function of the start node alone (that is
+    what makes the paper's trunk nodes well defined), so the first step uses
+    ``initial_entry_port`` — ``None`` by default, which acts as port 0 — and
+    *not* the port by which the agent happened to arrive at the node.
+
+    Returns the observation at the final node of the walk.
+    """
+    entry = initial_entry_port
+    for increment in increments:
+        port = next_port(entry, increment, observation.degree)
+        observation = yield from step(tape, port)
+        entry = observation.entry_port
+    return observation

@@ -1,0 +1,27 @@
+"""Port-labeled anonymous graphs: the network substrate of the paper.
+
+Public API
+----------
+* :class:`~repro.graphs.port_graph.PortLabeledGraph` — the immutable graph
+  model (anonymous nodes, local port numbers).
+* :class:`~repro.graphs.port_graph.PortGraphBuilder` — incremental builder.
+* :mod:`repro.graphs.families` — the graph families used in the experiments
+  (``ring``, ``path``, ``complete_graph``, ``lollipop``, ``random_connected``,
+  ...).
+* :class:`~repro.graphs.embedding.GraphEmbedding` — explicit 3D embedding
+  (reporting / visualisation only).
+"""
+
+from .port_graph import EdgeKey, PortGraphBuilder, PortLabeledGraph, edge_key
+from .embedding import GraphEmbedding, Point3D
+from . import families
+
+__all__ = [
+    "EdgeKey",
+    "PortGraphBuilder",
+    "PortLabeledGraph",
+    "edge_key",
+    "GraphEmbedding",
+    "Point3D",
+    "families",
+]

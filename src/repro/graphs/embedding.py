@@ -1,0 +1,101 @@
+"""Geometric embedding of a port-labeled graph.
+
+The paper embeds the graph in three-dimensional Euclidean space so that edges
+are pairwise disjoint segments and agents are points moving inside the
+embedding; this is what gives meaning to "meeting inside an edge".
+
+For the simulation itself the only geometric fact that matters is that each
+edge is a unit segment on which positions can be compared (see
+:mod:`repro.sim.position`).  This module provides an explicit embedding —
+coordinates for nodes and parametric points on edges — which is used by the
+examples for reporting and by tests asserting that the segment view and the
+coordinate view agree.  Nodes are placed on a circle and each edge ``{u, v}``
+is lifted to a distinct height ``z`` so that non-incident edges never cross,
+mirroring the paper's assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from ..exceptions import GraphError
+from .port_graph import EdgeKey, PortLabeledGraph
+
+__all__ = ["Point3D", "GraphEmbedding"]
+
+
+@dataclass(frozen=True)
+class Point3D:
+    """A point of the embedding, with float coordinates (reporting only)."""
+
+    x: float
+    y: float
+    z: float
+
+    def distance_to(self, other: "Point3D") -> float:
+        """Euclidean distance to ``other``."""
+        return math.sqrt(
+            (self.x - other.x) ** 2 + (self.y - other.y) ** 2 + (self.z - other.z) ** 2
+        )
+
+
+class GraphEmbedding:
+    """A concrete 3D embedding of a :class:`PortLabeledGraph`.
+
+    Nodes sit on the unit circle in the ``z = 0`` plane (in node-id order).
+    The midpoint of edge number ``i`` is lifted to height ``z = (i + 1) * h``
+    where ``h`` is a small constant, which guarantees that the *open* segments
+    of distinct edges are disjoint, as required by the paper's model.
+    """
+
+    def __init__(self, graph: PortLabeledGraph, lift: float = 0.01) -> None:
+        self._graph = graph
+        self._lift = lift
+        nodes = sorted(graph.nodes())
+        n = len(nodes)
+        self._node_points: Dict[int, Point3D] = {}
+        for index, v in enumerate(nodes):
+            angle = 2.0 * math.pi * index / n
+            self._node_points[v] = Point3D(math.cos(angle), math.sin(angle), 0.0)
+        self._edge_height: Dict[EdgeKey, float] = {}
+        for index, key in enumerate(sorted(graph.edges())):
+            self._edge_height[key] = (index + 1) * lift
+
+    @property
+    def graph(self) -> PortLabeledGraph:
+        """The embedded graph."""
+        return self._graph
+
+    def node_point(self, v: int) -> Point3D:
+        """Return the coordinates of node ``v``."""
+        try:
+            return self._node_points[v]
+        except KeyError:
+            raise GraphError(f"unknown node {v}") from None
+
+    def edge_point(self, key: EdgeKey, fraction: Fraction) -> Point3D:
+        """Return the point at parametric position ``fraction`` on edge ``key``.
+
+        ``fraction`` is measured from the endpoint with the smaller node id
+        (the canonical orientation used throughout the simulator); it must lie
+        in ``[0, 1]``.  Interior points are lifted off the ``z = 0`` plane by a
+        tent function so that distinct edges do not intersect.
+        """
+        if key not in self._edge_height:
+            raise GraphError(f"unknown edge {key}")
+        if not (0 <= fraction <= 1):
+            raise GraphError(f"edge fraction {fraction} outside [0, 1]")
+        u, v = key
+        start = self._node_points[u]
+        end = self._node_points[v]
+        t = float(fraction)
+        # Tent-shaped lift: zero at both endpoints, maximal at the midpoint.
+        height = self._edge_height[key] * (1.0 - abs(2.0 * t - 1.0))
+        return Point3D(
+            start.x + (end.x - start.x) * t,
+            start.y + (end.y - start.y) * t,
+            height,
+        )

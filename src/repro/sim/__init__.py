@@ -1,0 +1,62 @@
+"""Asynchronous adversarial execution of mobile agents.
+
+This package implements the paper's execution model: agents choose routes,
+an adversarial scheduler chooses how fast they move along them, and agents
+meet when their points coincide (possibly inside an edge).
+
+Public API
+----------
+* :class:`~repro.sim.engine.AsyncEngine`, :class:`~repro.sim.engine.AgentSpec`
+* actions and observations: :class:`~repro.sim.actions.Move`,
+  :class:`~repro.sim.actions.Stop`, :class:`~repro.sim.actions.Observation`,
+  :class:`~repro.sim.actions.MeetingEvent`
+* controllers: :class:`~repro.sim.agent.AgentController`,
+  :class:`~repro.sim.agent.FunctionController`,
+  :class:`~repro.sim.agent.StationaryController`
+* adversaries: :class:`~repro.sim.schedulers.RoundRobinScheduler`,
+  :class:`~repro.sim.schedulers.RandomScheduler`,
+  :class:`~repro.sim.schedulers.LazyScheduler`,
+  :class:`~repro.sim.schedulers.GreedyAvoidingScheduler`
+* results: :class:`~repro.sim.results.RunResult`,
+  :class:`~repro.sim.results.StopReason`
+"""
+
+from .actions import AgentSnapshot, MeetingEvent, Move, Observation, Stop
+from .agent import AgentController, FunctionController, StationaryController
+from .engine import AgentSpec, AgentStatus, AsyncEngine, EngineView
+from .position import Position
+from .results import RunResult, StopReason
+from .schedulers import (
+    Advance,
+    GreedyAvoidingScheduler,
+    LazyScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    Wake,
+)
+
+__all__ = [
+    "AgentSnapshot",
+    "MeetingEvent",
+    "Move",
+    "Observation",
+    "Stop",
+    "AgentController",
+    "FunctionController",
+    "StationaryController",
+    "AgentSpec",
+    "AgentStatus",
+    "AsyncEngine",
+    "EngineView",
+    "Position",
+    "RunResult",
+    "StopReason",
+    "Advance",
+    "Wake",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "LazyScheduler",
+    "GreedyAvoidingScheduler",
+]

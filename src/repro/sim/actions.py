@@ -1,0 +1,144 @@
+"""Actions, observations and meeting records exchanged with the engine.
+
+Agent programs are Python generators.  The engine sends them
+:class:`Observation` objects (what an agent is allowed to perceive: the degree
+of its current node and the port by which it entered) and receives
+:class:`Move` or :class:`Stop` actions in return.  Node identities are never
+part of an observation — the network is anonymous.
+
+Meetings are reported to agent *controllers* (not to the programs directly)
+as :class:`MeetingEvent` objects carrying :class:`AgentSnapshot` views of the
+participants' public state; see :mod:`repro.sim.agent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "Action",
+    "Move",
+    "Stop",
+    "Observation",
+    "AgentSnapshot",
+    "MeetingEvent",
+]
+
+
+class Action:
+    """Base class of the actions an agent program may yield."""
+
+    __slots__ = ()
+
+
+class Move(Action):
+    """Traverse the edge with local port number ``port`` at the current node."""
+
+    __slots__ = ("port",)
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+
+    def __repr__(self) -> str:
+        return f"Move(port={self.port})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Move) and other.port == self.port
+
+    def __hash__(self) -> int:
+        return hash(("Move", self.port))
+
+
+class Stop(Action):
+    """Terminate the walk and stay at the current node forever.
+
+    A stopped agent remains a point of the embedding: other agents can still
+    meet it (this is essential both for the naive baseline and for the ghost
+    state of Algorithm SGL).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Stop()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Stop)
+
+    def __hash__(self) -> int:
+        return hash("Stop")
+
+
+class Observation(NamedTuple):
+    """What an agent perceives upon (re)gaining control at a node.
+
+    Attributes
+    ----------
+    degree:
+        Degree of the current node.
+    entry_port:
+        Port by which the agent entered the node, or ``None`` at its start
+        node (it has not entered through any port yet).
+    traversals:
+        The number of edge traversals this agent has completed so far.  The
+        paper's agents can count their own moves, and Algorithm SGL explicitly
+        relies on this (the explorer resumes RV-asynch-poly "until it made
+        Π(E(n), |L|) edge traversals").
+    """
+
+    degree: int
+    entry_port: Optional[int]
+    traversals: int = 0
+
+
+@dataclass(frozen=True)
+class AgentSnapshot:
+    """Public view of one agent at the instant of a meeting.
+
+    ``public`` is a *copy* of the mutable public state the agent's controller
+    exposes (its label, its bag, its state in Algorithm SGL, ...).  Mutating
+    the copy has no effect on the owner.
+    """
+
+    name: str
+    label: Optional[int]
+    status: str
+    public: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MeetingEvent:
+    """A coincidence of two or more agents at one point of the embedding.
+
+    Attributes
+    ----------
+    participants:
+        Snapshots of every agent present at the meeting point (including the
+        one whose movement produced the coincidence).
+    node:
+        The node id if the meeting happened at a node, else ``None``.
+    edge:
+        The canonical edge key if the meeting happened strictly inside an
+        edge, else ``None``.
+    decision_index:
+        Index of the scheduler decision during which the meeting occurred —
+        a discrete stand-in for the (adversary-controlled) wall-clock time.
+    total_traversals:
+        Total number of completed edge traversals (all agents) at the moment
+        of the meeting; this is the paper's cost measure.
+    """
+
+    participants: Tuple[AgentSnapshot, ...]
+    node: Optional[int]
+    edge: Optional[Tuple[int, int]]
+    decision_index: int
+    total_traversals: int
+
+    def names(self) -> Tuple[str, ...]:
+        """Names of the participants, in snapshot order."""
+        return tuple(snapshot.name for snapshot in self.participants)
+
+    def involves(self, name: str) -> bool:
+        """Return whether the agent called ``name`` took part in the meeting."""
+        return any(snapshot.name == name for snapshot in self.participants)

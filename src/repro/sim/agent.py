@@ -1,0 +1,140 @@
+"""Agent controllers: the bridge between agent programs and the engine.
+
+An :class:`AgentController` owns everything agent-side:
+
+* the *program* — a generator produced by :meth:`AgentController.start` that
+  yields :class:`~repro.sim.actions.Move` / :class:`~repro.sim.actions.Stop`
+  actions and receives :class:`~repro.sim.actions.Observation` objects;
+* the *public state* — a dictionary other agents can read when they meet this
+  agent (labels, bags, Algorithm-SGL state, ...);
+* the *meeting hook* — :meth:`AgentController.on_meeting`, called by the
+  engine at the exact instant of a coincidence, which is how information is
+  exchanged in the multi-agent algorithms of §4;
+* the *output* — whatever the agent eventually outputs (the solved problem's
+  answer); the engine can be asked to run until every agent has an output.
+
+For the two-agent rendezvous experiments the controllers are trivial (a label
+plus a program); :class:`FunctionController` wraps a plain generator function
+for that purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+from .actions import Action, MeetingEvent, Observation
+
+__all__ = ["AgentController", "FunctionController", "StationaryController"]
+
+#: Type alias for agent programs.
+AgentProgram = Generator[Action, Observation, None]
+
+
+class AgentController:
+    """Behaviour of a single mobile agent.
+
+    Subclasses must implement :meth:`start`; the remaining hooks have sensible
+    defaults (no public state, meetings ignored, no output).
+    """
+
+    def __init__(self, name: str, label: Optional[int] = None) -> None:
+        self._name = name
+        self._label = label
+        #: Mutable public state, snapshotted and shown to other agents at
+        #: meetings.  Controllers may read and write it at any time.
+        self.public: Dict[str, Any] = {}
+        #: The agent's output, or ``None`` while it has not produced one.
+        self.output: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Unique name of the agent within a simulation."""
+        return self._name
+
+    @property
+    def label(self) -> Optional[int]:
+        """The agent's label (a strictly positive integer), if it has one."""
+        return self._label
+
+    # ------------------------------------------------------------------
+    # behaviour hooks
+    # ------------------------------------------------------------------
+    def start(self, observation: Observation) -> AgentProgram:
+        """Create the agent's program, given the observation at its start node."""
+        raise NotImplementedError
+
+    def on_meeting(self, event: MeetingEvent) -> None:
+        """React to a meeting this agent took part in.
+
+        Called synchronously by the engine at the instant of the coincidence,
+        *before* the agents move any further.  The default does nothing.
+        """
+
+    def on_wake(self) -> None:
+        """Called when a dormant agent is woken up (by the adversary or a visit)."""
+
+    def has_output(self) -> bool:
+        """Whether the agent has produced its final output."""
+        return self.output is not None
+
+    def public_snapshot(self) -> Dict[str, Any]:
+        """Return a copy of the public state exposed to other agents."""
+        return dict(self.public)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self._name!r}, label={self._label!r})"
+
+
+class FunctionController(AgentController):
+    """Wrap a plain generator function as a controller.
+
+    Parameters
+    ----------
+    name:
+        Agent name.
+    program_factory:
+        Callable taking the initial :class:`Observation` and returning the
+        agent program generator.
+    label:
+        Optional agent label, exposed in meeting snapshots.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        program_factory: Callable[[Observation], AgentProgram],
+        label: Optional[int] = None,
+    ) -> None:
+        super().__init__(name, label)
+        self._program_factory = program_factory
+        if label is not None:
+            self.public["label"] = label
+
+    def start(self, observation: Observation) -> AgentProgram:
+        return self._program_factory(observation)
+
+
+class StationaryController(AgentController):
+    """An agent that never moves (used as a token / inert agent in tests).
+
+    The paper notes that exploration of an unknown graph is equivalent to
+    rendezvous with an inert agent; this controller is that inert agent.  It
+    is also the semi-stationary token of Procedure ESST when the token is
+    played by a dedicated entity rather than by a ghost agent.
+    """
+
+    def __init__(self, name: str, label: Optional[int] = None) -> None:
+        super().__init__(name, label)
+        if label is not None:
+            self.public["label"] = label
+
+    def start(self, observation: Observation) -> AgentProgram:
+        def program(_obs: Observation) -> AgentProgram:
+            # A generator that stops immediately: the agent stays at its node.
+            return
+            yield  # pragma: no cover - makes this a generator function
+
+        return program(observation)

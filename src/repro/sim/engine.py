@@ -1,0 +1,616 @@
+"""The asynchronous execution engine.
+
+This module implements the paper's execution model (§1, "The model"):
+
+* each agent chooses its *route* on-line, one port at a time, based only on
+  what it has perceived so far (its agent program);
+* the adversary chooses the *walk* along that route — relative speeds,
+  pauses, starvation — here discretised into scheduler decisions
+  (:mod:`repro.sim.schedulers`);
+* agents are points of the embedding; two agents **meet** when their points
+  coincide, possibly strictly inside an edge;
+* the cost of a run is the total number of completed edge traversals.
+
+The engine is deliberately conservative about what agents can observe: an
+agent program only ever receives the degree of its current node, its entry
+port and its own traversal count.  All information exchange between agents
+happens through the meeting hooks of their controllers, mirroring the paper's
+"agents exchange information when they meet" rule of §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import (
+    CostLimitExceeded,
+    ProtocolError,
+    SchedulerError,
+    SimulationError,
+)
+from ..graphs.port_graph import EdgeKey, PortLabeledGraph, edge_key
+from .actions import AgentSnapshot, MeetingEvent, Move, Observation, Stop
+from .agent import AgentController
+from .position import ONE as _ONE
+from .position import ZERO as _ZERO
+from .position import Position
+from .results import RunResult, StopReason
+from .schedulers import Advance, Decision, Scheduler, Wake
+
+__all__ = ["AgentSpec", "AsyncEngine", "EngineView", "AgentStatus"]
+
+
+class AgentStatus:
+    """Lifecycle states of an agent inside the engine."""
+
+    DORMANT = "dormant"
+    ACTIVE = "active"
+    STOPPED = "stopped"
+
+
+@dataclass
+class AgentSpec:
+    """Placement of one agent in a simulation.
+
+    Attributes
+    ----------
+    controller:
+        The agent's behaviour (program + meeting hooks + public state).
+    start_node:
+        The node at which the adversary initially places the agent.
+    dormant:
+        Whether the agent starts dormant.  Dormant agents are woken either by
+        the scheduler (a :class:`~repro.sim.schedulers.Wake` decision) or by
+        another agent whose point coincides with their start node, exactly as
+        in §4 of the paper.
+    """
+
+    controller: AgentController
+    start_node: int
+    dormant: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.controller.name
+
+
+@dataclass
+class _PendingTraversal:
+    """An edge traversal an agent has committed to but not yet completed."""
+
+    from_node: int
+    to_node: int
+    edge: EdgeKey
+    exit_port: int
+    entry_port: int
+    progress: Fraction = _ZERO
+
+    def canonical_fraction(self, progress: Fraction) -> Fraction:
+        """Convert traversal progress into the edge's canonical fraction."""
+        return progress if self.from_node == self.edge[0] else 1 - progress
+
+
+class _AgentState:
+    """Engine-internal bookkeeping for one agent."""
+
+    __slots__ = (
+        "spec",
+        "name",
+        "controller",
+        "status",
+        "position",
+        "program",
+        "pending",
+        "entry_port",
+        "traversals",
+    )
+
+    def __init__(self, spec: AgentSpec, status: str, position: Position) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.controller = spec.controller
+        self.status = status
+        self.position = position
+        self.program: Optional[Any] = None
+        self.pending: Optional[_PendingTraversal] = None
+        self.entry_port: Optional[int] = None
+        self.traversals = 0
+
+
+class EngineView:
+    """Read-only view of the engine state handed to schedulers.
+
+    The adversary of the paper is omniscient: it sees where every agent is
+    and what it is about to do.  The view exposes exactly that, plus the
+    helper :meth:`max_safe_advance` used by the meeting-avoiding adversary.
+    """
+
+    def __init__(self, engine: "AsyncEngine") -> None:
+        self._engine = engine
+
+    def agent_names(self) -> List[str]:
+        """Names of all agents, in registration order."""
+        return [state.name for state in self._engine._agents.values()]
+
+    def eligible_agents(self) -> List[str]:
+        """Agents the adversary may currently advance (active, committed)."""
+        return [
+            state.name
+            for state in self._engine._agents.values()
+            if state.status == AgentStatus.ACTIVE and state.pending is not None
+        ]
+
+    def is_dormant(self, name: str) -> bool:
+        """Whether agent ``name`` is still dormant."""
+        return self._engine._agent(name).status == AgentStatus.DORMANT
+
+    def agent_status(self, name: str) -> str:
+        """Lifecycle status of agent ``name``."""
+        return self._engine._agent(name).status
+
+    def agent_position(self, name: str) -> Position:
+        """Exact position of agent ``name``."""
+        return self._engine._agent(name).position
+
+    def agent_progress(self, name: str) -> Fraction:
+        """Progress of the agent's committed traversal (0 if none)."""
+        state = self._engine._agent(name)
+        return state.pending.progress if state.pending is not None else Fraction(0)
+
+    def agent_traversals(self, name: str) -> int:
+        """Completed edge traversals of agent ``name``."""
+        return self._engine._agent(name).traversals
+
+    def total_traversals(self) -> int:
+        """Total completed edge traversals over all agents."""
+        return self._engine.total_traversals
+
+    def max_safe_advance(self, name: str) -> Optional[Fraction]:
+        """Largest progress the agent can be advanced to without a meeting.
+
+        Returns ``Fraction(1)`` when the whole traversal is free of
+        coincidences, a value strictly between the current progress and the
+        nearest obstacle otherwise, and ``None`` if the agent has no
+        committed traversal.
+        """
+        return self._engine._max_safe_advance(name)
+
+
+class AsyncEngine:
+    """Simulate a set of agents in a graph under an adversarial scheduler.
+
+    Parameters
+    ----------
+    graph:
+        The port-labeled graph the agents move in.
+    agents:
+        Agent placements.  Agent names must be unique and start nodes must
+        exist in the graph.
+    scheduler:
+        The adversary strategy.
+    rendezvous:
+        Optional collection of agent names; the run stops (successfully) at
+        the first meeting whose participants include *all* of these agents.
+        Pass the two agents' names for the classic rendezvous problem.
+    stop_when_all_output:
+        Stop (successfully) once every agent's controller has produced an
+        output — the termination criterion of the §4 problems.
+    max_traversals:
+        Budget on the total number of edge traversals; exceeding it raises
+        :class:`CostLimitExceeded` (or returns a partial result when
+        ``on_cost_limit="return"``).
+    max_decisions:
+        Safety valve against schedulers that make unbounded numbers of
+        zero-progress decisions.  Defaults to a generous multiple of
+        ``max_traversals``.
+    on_cost_limit:
+        Either ``"raise"`` (default) or ``"return"``.
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        agents: Sequence[AgentSpec],
+        scheduler: Scheduler,
+        *,
+        rendezvous: Optional[Iterable[str]] = None,
+        stop_when_all_output: bool = False,
+        max_traversals: int = 2_000_000,
+        max_decisions: Optional[int] = None,
+        on_cost_limit: str = "raise",
+    ) -> None:
+        if not agents:
+            raise SimulationError("at least one agent is required")
+        if on_cost_limit not in ("raise", "return"):
+            raise SimulationError("on_cost_limit must be 'raise' or 'return'")
+        self._graph = graph
+        self._scheduler = scheduler
+        self._rendezvous: Optional[Set[str]] = set(rendezvous) if rendezvous else None
+        self._stop_when_all_output = stop_when_all_output
+        self._max_traversals = max_traversals
+        self._max_decisions = (
+            max_decisions if max_decisions is not None else 64 * max_traversals + 4096
+        )
+        self._on_cost_limit = on_cost_limit
+
+        self._agents: Dict[str, _AgentState] = {}
+        for spec in agents:
+            if spec.name in self._agents:
+                raise SimulationError(f"duplicate agent name {spec.name!r}")
+            if spec.start_node not in graph:
+                raise SimulationError(
+                    f"start node {spec.start_node} of agent {spec.name!r} "
+                    f"is not a node of the graph"
+                )
+            self._agents[spec.name] = _AgentState(
+                spec=spec,
+                status=AgentStatus.DORMANT if spec.dormant else AgentStatus.ACTIVE,
+                position=Position.at_node(spec.start_node),
+            )
+        if self._rendezvous is not None:
+            unknown = self._rendezvous - set(self._agents)
+            if unknown:
+                raise SimulationError(f"unknown rendezvous agents: {sorted(unknown)}")
+
+        self.total_traversals = 0
+        self._decisions = 0
+        self._meetings: List[MeetingEvent] = []
+        self._goal_meeting: Optional[MeetingEvent] = None
+        self._done = False
+        self._reason: Optional[str] = None
+        self._output_cost: Optional[int] = None
+        self._view = EngineView(self)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> PortLabeledGraph:
+        """The graph being simulated."""
+        return self._graph
+
+    @property
+    def view(self) -> EngineView:
+        """The read-only view handed to schedulers."""
+        return self._view
+
+    def run(self) -> RunResult:
+        """Run the simulation to completion and return the result."""
+        self._bootstrap()
+        while not self._done:
+            self._check_passive_termination()
+            if self._done:
+                break
+            if self._decisions >= self._max_decisions:
+                raise SimulationError(
+                    f"scheduler exceeded the decision budget ({self._max_decisions}); "
+                    "it is probably making unbounded zero-progress decisions"
+                )
+            decision = self._scheduler.decide(self._view)
+            self._decisions += 1
+            if decision is None:
+                self._finish(StopReason.SCHEDULER_EXHAUSTED)
+                break
+            self._apply(decision)
+            if not self._done and self.total_traversals > self._max_traversals:
+                self._handle_cost_limit()
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # bootstrapping
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        # Report coincidences that exist before anybody moves (agents are
+        # normally placed at distinct nodes, but tests may co-locate them).
+        positions: Dict[Position, List[str]] = {}
+        for state in self._agents.values():
+            positions.setdefault(state.position, []).append(state.name)
+        for position, names in positions.items():
+            if len(names) >= 2:
+                self._emit_meeting(names, position)
+                if self._done:
+                    return
+        for state in self._agents.values():
+            if state.status == AgentStatus.ACTIVE and state.program is None:
+                self._start_program(state)
+        self._check_output_termination()
+
+    # ------------------------------------------------------------------
+    # decision handling
+    # ------------------------------------------------------------------
+    def _apply(self, decision: Decision) -> None:
+        if isinstance(decision, Wake):
+            self._apply_wake(decision)
+        elif isinstance(decision, Advance):
+            self._apply_advance(decision)
+        else:
+            raise SchedulerError(f"unknown decision type: {decision!r}")
+
+    def _apply_wake(self, decision: Wake) -> None:
+        state = self._agent(decision.agent)
+        if state.status != AgentStatus.DORMANT:
+            raise SchedulerError(f"agent {decision.agent!r} is not dormant")
+        self._wake(state)
+        self._check_output_termination()
+
+    def _apply_advance(self, decision: Advance) -> None:
+        state = self._agent(decision.agent)
+        if state.status != AgentStatus.ACTIVE or state.pending is None:
+            raise SchedulerError(
+                f"agent {decision.agent!r} cannot be advanced "
+                f"(status={state.status}, committed={state.pending is not None})"
+            )
+        pending = state.pending
+        target = decision.to if isinstance(decision.to, Fraction) else Fraction(decision.to)
+        if target <= pending.progress or target > _ONE:
+            raise SchedulerError(
+                f"illegal advance of {decision.agent!r} from {pending.progress} "
+                f"to {target}"
+            )
+        self._sweep(state, pending, pending.progress, target)
+        if self._done:
+            return
+        pending.progress = target
+        if target == _ONE:
+            self._complete_traversal(state)
+        else:
+            state.position = Position.on_edge(
+                pending.edge, pending.canonical_fraction(target)
+            )
+
+    # ------------------------------------------------------------------
+    # movement mechanics
+    # ------------------------------------------------------------------
+    def _sweep(
+        self,
+        mover: _AgentState,
+        pending: _PendingTraversal,
+        start: Fraction,
+        end: Fraction,
+    ) -> None:
+        """Detect and process every coincidence produced by the advance."""
+        encountered: List[Tuple[Fraction, str]] = []
+        edge = pending.edge
+        forward = pending.from_node == edge[0]
+        for other in self._agents.values():
+            if other is mover:
+                continue
+            fraction = other.position.fraction_on(edge)
+            if fraction is None:
+                continue
+            progress = fraction if forward else 1 - fraction
+            if start < progress <= end:
+                encountered.append((progress, other.name))
+        if not encountered:
+            return
+        encountered.sort()
+        # Group the encounters by exact meeting point.
+        index = 0
+        while index < len(encountered) and not self._done:
+            progress = encountered[index][0]
+            names = [mover.name]
+            while index < len(encountered) and encountered[index][0] == progress:
+                names.append(encountered[index][1])
+                index += 1
+            canonical = pending.canonical_fraction(progress)
+            position = Position.on_edge(pending.edge, canonical)
+            self._emit_meeting(names, position)
+
+    def _complete_traversal(self, state: _AgentState) -> None:
+        pending = state.pending
+        assert pending is not None
+        state.pending = None
+        state.position = Position.at_node(pending.to_node)
+        state.entry_port = pending.entry_port
+        state.traversals += 1
+        self.total_traversals += 1
+        if self._done:
+            return
+        self._request_action(state)
+        self._check_output_termination()
+
+    def _max_safe_advance(self, name: str) -> Optional[Fraction]:
+        state = self._agent(name)
+        if state.pending is None:
+            return None
+        pending = state.pending
+        current = pending.progress
+        nearest: Optional[Fraction] = None
+        forward = pending.from_node == pending.edge[0]
+        for other in self._agents.values():
+            if other is state:
+                continue
+            fraction = other.position.fraction_on(pending.edge)
+            if fraction is None:
+                continue
+            progress = fraction if forward else 1 - fraction
+            if progress > current and (nearest is None or progress < nearest):
+                nearest = progress
+        if nearest is None:
+            return _ONE
+        return (current + nearest) / 2
+
+    # ------------------------------------------------------------------
+    # meetings
+    # ------------------------------------------------------------------
+    def _emit_meeting(self, names: Iterable[str], position: Position) -> None:
+        participants: List[str] = list(dict.fromkeys(names))
+        # Wake dormant participants first: a visit to a dormant agent's start
+        # node wakes it, and it takes part in the resulting exchange.
+        woken: List[_AgentState] = []
+        for name in participants:
+            state = self._agent(name)
+            if state.status == AgentStatus.DORMANT:
+                woken.append(state)
+        snapshots = tuple(
+            AgentSnapshot(
+                name=self._agent(name).name,
+                label=self._agent(name).controller.label,
+                status=self._agent(name).status,
+                public=self._agent(name).controller.public_snapshot(),
+            )
+            for name in participants
+        )
+        event = MeetingEvent(
+            participants=snapshots,
+            node=position.node,
+            edge=position.edge,
+            decision_index=self._decisions,
+            total_traversals=self.total_traversals,
+        )
+        self._meetings.append(event)
+        for state in woken:
+            self._wake(state, start_program=False)
+        for name in participants:
+            self._agent(name).controller.on_meeting(event)
+        # Programs of freshly woken agents start only after the exchange, so
+        # their first decision can already use the information received.
+        for state in woken:
+            if state.program is None and state.status == AgentStatus.ACTIVE:
+                self._start_program(state)
+        self._check_output_termination()
+        if (
+            self._rendezvous is not None
+            and self._rendezvous.issubset(set(participants))
+            and not self._done
+        ):
+            self._goal_meeting = event
+            self._finish(StopReason.MEETING)
+
+    # ------------------------------------------------------------------
+    # agent program driving
+    # ------------------------------------------------------------------
+    def _wake(self, state: _AgentState, start_program: bool = True) -> None:
+        state.status = AgentStatus.ACTIVE
+        state.controller.on_wake()
+        if start_program and state.program is None:
+            self._start_program(state)
+
+    def _start_program(self, state: _AgentState) -> None:
+        observation = self._observe(state)
+        program = state.controller.start(observation)
+        state.program = program
+        try:
+            action = next(program)
+        except StopIteration:
+            self._stop_agent(state)
+            return
+        self._handle_action(state, action)
+
+    def _request_action(self, state: _AgentState) -> None:
+        if state.program is None or state.status != AgentStatus.ACTIVE:
+            return
+        observation = self._observe(state)
+        try:
+            action = state.program.send(observation)
+        except StopIteration:
+            self._stop_agent(state)
+            return
+        self._handle_action(state, action)
+
+    def _handle_action(self, state: _AgentState, action: Any) -> None:
+        if isinstance(action, Stop):
+            self._stop_agent(state)
+            return
+        if not isinstance(action, Move):
+            raise ProtocolError(
+                f"agent {state.name!r} yielded {action!r}; expected Move or Stop"
+            )
+        if not state.position.is_at_node:
+            raise SimulationError(
+                f"agent {state.name!r} asked to move while not at a node"
+            )
+        node = state.position.node
+        degree = self._graph.degree(node)
+        if not (0 <= action.port < degree):
+            raise ProtocolError(
+                f"agent {state.name!r} chose port {action.port} at a node of "
+                f"degree {degree}"
+            )
+        target, entry_port = self._graph.traverse(node, action.port)
+        state.pending = _PendingTraversal(
+            from_node=node,
+            to_node=target,
+            edge=edge_key(node, target),
+            exit_port=action.port,
+            entry_port=entry_port,
+        )
+
+    def _stop_agent(self, state: _AgentState) -> None:
+        state.status = AgentStatus.STOPPED
+        state.pending = None
+
+    def _observe(self, state: _AgentState) -> Observation:
+        if not state.position.is_at_node:
+            raise SimulationError(
+                f"cannot observe for agent {state.name!r}: not at a node"
+            )
+        node = state.position.node
+        return Observation(
+            degree=self._graph.degree(node),
+            entry_port=state.entry_port,
+            traversals=state.traversals,
+        )
+
+    # ------------------------------------------------------------------
+    # termination
+    # ------------------------------------------------------------------
+    def _check_passive_termination(self) -> None:
+        for state in self._agents.values():
+            if state.status != AgentStatus.STOPPED:
+                return
+        self._finish(StopReason.ALL_STOPPED)
+
+    def _check_output_termination(self) -> None:
+        if not self._stop_when_all_output or self._done:
+            return
+        for state in self._agents.values():
+            if not state.controller.has_output():
+                return
+        self._output_cost = self.total_traversals
+        self._finish(StopReason.ALL_OUTPUT)
+
+    def _handle_cost_limit(self) -> None:
+        if self._on_cost_limit == "raise":
+            partial = self._build_result(forced_reason=StopReason.COST_LIMIT)
+            raise CostLimitExceeded(
+                f"total traversals exceeded the budget of {self._max_traversals}",
+                partial_result=partial,
+            )
+        self._finish(StopReason.COST_LIMIT)
+
+    def _finish(self, reason: str) -> None:
+        self._done = True
+        self._reason = reason
+
+    # ------------------------------------------------------------------
+    # result construction and small helpers
+    # ------------------------------------------------------------------
+    def _agent(self, name: str) -> _AgentState:
+        try:
+            return self._agents[name]
+        except KeyError:
+            raise SimulationError(f"unknown agent {name!r}") from None
+
+    def _build_result(self, forced_reason: Optional[str] = None) -> RunResult:
+        reason = forced_reason or self._reason or StopReason.ALL_STOPPED
+        outputs = {
+            state.name: state.controller.output
+            for state in self._agents.values()
+            if state.controller.has_output()
+        }
+        return RunResult(
+            reason=reason,
+            met=self._goal_meeting is not None,
+            meeting=self._goal_meeting,
+            meetings=list(self._meetings),
+            total_traversals=self.total_traversals,
+            traversals_by_agent={
+                state.name: state.traversals for state in self._agents.values()
+            },
+            decisions=self._decisions,
+            outputs=outputs,
+            output_cost=self._output_cost,
+        )

@@ -1,0 +1,88 @@
+"""Result records returned by the asynchronous execution engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .actions import MeetingEvent
+
+__all__ = ["RunResult", "StopReason"]
+
+
+class StopReason:
+    """Symbolic constants describing why a simulation run ended."""
+
+    #: The configured rendezvous agents met.
+    MEETING = "meeting"
+    #: Every agent produced its output (multi-agent problems of §4).
+    ALL_OUTPUT = "all_output"
+    #: Every agent stopped (or was never woken) without satisfying the goal.
+    ALL_STOPPED = "all_stopped"
+    #: The scheduler returned ``None`` — the adversary has no further moves.
+    SCHEDULER_EXHAUSTED = "scheduler_exhausted"
+    #: The total-traversal budget was exhausted before the goal was reached.
+    COST_LIMIT = "cost_limit"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run of the asynchronous execution engine.
+
+    Attributes
+    ----------
+    reason:
+        One of the :class:`StopReason` constants.
+    met:
+        Whether the *goal meeting* (the configured rendezvous set) occurred.
+    meeting:
+        The goal meeting event, if any.
+    meetings:
+        Every meeting event that occurred during the run, in order.
+    total_traversals:
+        Total number of completed edge traversals over all agents when the
+        run ended — the paper's cost measure.
+    traversals_by_agent:
+        Completed edge traversals per agent.
+    decisions:
+        Number of scheduler decisions executed.
+    outputs:
+        Mapping of agent name to its output, for agents that produced one.
+    output_cost:
+        Total traversals at the moment the *last* agent produced its output
+        (only meaningful when ``reason == ALL_OUTPUT``).
+    """
+
+    reason: str
+    met: bool
+    meeting: Optional[MeetingEvent]
+    meetings: List[MeetingEvent]
+    total_traversals: int
+    traversals_by_agent: Dict[str, int]
+    decisions: int
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    output_cost: Optional[int] = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the run reached its goal (a meeting or all outputs)."""
+        return self.reason in (StopReason.MEETING, StopReason.ALL_OUTPUT)
+
+    def cost(self) -> int:
+        """Return the cost of the run in the paper's measure (edge traversals)."""
+        if self.reason == StopReason.ALL_OUTPUT and self.output_cost is not None:
+            return self.output_cost
+        return self.total_traversals
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary of the run."""
+        parts = [f"reason={self.reason}", f"cost={self.cost()}"]
+        if self.meeting is not None:
+            location = (
+                f"node {self.meeting.node}"
+                if self.meeting.node is not None
+                else f"edge {self.meeting.edge}"
+            )
+            parts.append(f"meeting at {location}")
+        parts.append(f"decisions={self.decisions}")
+        return ", ".join(parts)

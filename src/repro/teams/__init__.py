@@ -1,0 +1,43 @@
+"""Multi-agent applications of the rendezvous algorithm (§4).
+
+Public API
+----------
+* :class:`~repro.teams.sgl.SGLController` — one agent of Algorithm SGL.
+* :func:`~repro.teams.problems.run_sgl` — run Strong Global Learning for a team.
+* :func:`~repro.teams.problems.solve_team_size`,
+  :func:`~repro.teams.problems.solve_leader_election`,
+  :func:`~repro.teams.problems.solve_perfect_renaming`,
+  :func:`~repro.teams.problems.solve_gossiping` — the four derived problems.
+* :class:`~repro.teams.bag.Bag`, the state constants of
+  :mod:`repro.teams.states`.
+"""
+
+from .bag import Bag, BagSnapshot
+from .states import ALL_STATES, EXPLORER, GHOST, TRAVELLER
+from .sgl import SGLController
+from .problems import (
+    SGLOutcome,
+    TeamMember,
+    run_sgl,
+    solve_gossiping,
+    solve_leader_election,
+    solve_perfect_renaming,
+    solve_team_size,
+)
+
+__all__ = [
+    "Bag",
+    "BagSnapshot",
+    "ALL_STATES",
+    "EXPLORER",
+    "GHOST",
+    "TRAVELLER",
+    "SGLController",
+    "SGLOutcome",
+    "TeamMember",
+    "run_sgl",
+    "solve_gossiping",
+    "solve_leader_election",
+    "solve_perfect_renaming",
+    "solve_team_size",
+]

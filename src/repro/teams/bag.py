@@ -1,0 +1,80 @@
+"""Bags: the per-agent sets of labels (and values) heard of so far.
+
+Every agent of Algorithm SGL carries a *bag* ``W`` initialised to its own
+label; at every meeting it replaces ``W`` by the union of the bags of all
+participants.  Bags only ever grow, which is what bounds the number of bag
+updates in the paper's cost analysis.
+
+For the gossiping application each label is accompanied by the initial value
+of the corresponding agent, so a bag is represented as a mapping
+``label -> value`` (``None`` when the agent carries no value).  The public
+snapshot shared at meetings is an immutable tuple of ``(label, value)`` pairs
+sorted by label.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..exceptions import LabelError
+
+__all__ = ["Bag", "BagSnapshot"]
+
+#: The immutable form of a bag that travels inside meeting snapshots.
+BagSnapshot = Tuple[Tuple[int, Any], ...]
+
+
+class Bag:
+    """A monotonically growing set of ``label -> value`` facts."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, initial: Optional[Dict[int, Any]] = None) -> None:
+        self._entries: Dict[int, Any] = {}
+        if initial:
+            for label, value in initial.items():
+                self.add(label, value)
+
+    # ------------------------------------------------------------------
+    def add(self, label: int, value: Any = None) -> None:
+        """Add one fact.  A known label keeps its value unless it was ``None``."""
+        if not isinstance(label, int) or isinstance(label, bool) or label < 1:
+            raise LabelError(f"bag labels must be strictly positive integers, got {label!r}")
+        if label not in self._entries or self._entries[label] is None:
+            self._entries[label] = value
+
+    def merge(self, items: Iterable[Tuple[int, Any]]) -> bool:
+        """Merge a snapshot (or any iterable of pairs); return whether the bag grew."""
+        grew = False
+        for label, value in items:
+            known = label in self._entries and self._entries[label] is not None
+            self.add(label, value)
+            if not known and (label in self._entries):
+                grew = True
+        return grew
+
+    # ------------------------------------------------------------------
+    def labels(self) -> Tuple[int, ...]:
+        """Return the labels heard of, in increasing order."""
+        return tuple(sorted(self._entries))
+
+    def values(self) -> Dict[int, Any]:
+        """Return a copy of the ``label -> value`` mapping."""
+        return dict(self._entries)
+
+    def min_label(self) -> int:
+        """Return the smallest label heard of (``Min(W)`` in the paper)."""
+        return min(self._entries)
+
+    def snapshot(self) -> BagSnapshot:
+        """Return the immutable form shared at meetings."""
+        return tuple(sorted(self._entries.items()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, label: int) -> bool:
+        return label in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bag({dict(sorted(self._entries.items()))!r})"

@@ -1,0 +1,199 @@
+"""The four multi-agent problems solved through Algorithm SGL (§4).
+
+Once every agent knows the set of labels of all participating agents — and
+knows that it knows it — the four problems are immediate:
+
+* **team size** — output the cardinality of the label set;
+* **leader election** — output the smallest label;
+* **perfect renaming** — adopt the rank of one's own label in the sorted
+  label set (a bijection onto ``{1, ..., k}``);
+* **gossiping** — output the mapping from labels to initial values (values
+  travel inside the bags next to the labels).
+
+The cost of each solution is the total number of edge traversals by all
+agents until all of them have produced their output, which is exactly what
+the engine's ``output_cost`` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import LabelError, SimulationError
+from ..exploration.cost_model import CostModel, default_cost_model
+from ..graphs.port_graph import PortLabeledGraph
+from ..sim.engine import AgentSpec, AsyncEngine
+from ..sim.results import RunResult
+from ..sim.schedulers import RoundRobinScheduler, Scheduler
+from .sgl import SGLController
+
+__all__ = [
+    "TeamMember",
+    "SGLOutcome",
+    "run_sgl",
+    "solve_team_size",
+    "solve_leader_election",
+    "solve_perfect_renaming",
+    "solve_gossiping",
+]
+
+
+@dataclass(frozen=True)
+class TeamMember:
+    """One agent of the team: its label, start node, optional value and wake mode."""
+
+    label: int
+    start_node: int
+    value: Any = None
+    dormant: bool = False
+
+
+@dataclass
+class SGLOutcome:
+    """Result of one run of Algorithm SGL for a whole team.
+
+    Attributes
+    ----------
+    result:
+        The raw engine result (cost, meetings, per-agent traversals).
+    label_sets:
+        For each agent label, the set of labels it output (as a sorted tuple).
+    value_maps:
+        For each agent label, the ``label -> value`` mapping it output.
+    expected_labels:
+        The true set of labels, for convenience.
+    """
+
+    result: RunResult
+    label_sets: Dict[int, Tuple[int, ...]]
+    value_maps: Dict[int, Dict[int, Any]]
+    expected_labels: Tuple[int, ...]
+
+    @property
+    def all_output(self) -> bool:
+        """Whether every agent produced an output."""
+        return len(self.label_sets) == len(self.expected_labels)
+
+    @property
+    def correct(self) -> bool:
+        """Whether every agent output exactly the true set of labels."""
+        return self.all_output and all(
+            labels == self.expected_labels for labels in self.label_sets.values()
+        )
+
+    @property
+    def cost(self) -> int:
+        """Total edge traversals until the last agent output (the §4 cost measure)."""
+        return self.result.cost()
+
+
+def _agent_name(label: int) -> str:
+    return f"sgl-{label}"
+
+
+def run_sgl(
+    graph: PortLabeledGraph,
+    members: Iterable[TeamMember],
+    scheduler: Optional[Scheduler] = None,
+    model: Optional[CostModel] = None,
+    max_traversals: int = 5_000_000,
+    on_cost_limit: str = "raise",
+) -> SGLOutcome:
+    """Run Algorithm SGL for a team of agents and collect every agent's output.
+
+    Agents must have pairwise distinct labels and pairwise distinct start
+    nodes, and the team must contain at least two agents (the paper's
+    footnote: a single agent can never become aware that it is alone).
+    """
+    members = list(members)
+    if len(members) < 2:
+        raise LabelError("Algorithm SGL needs a team of at least two agents")
+    labels = [member.label for member in members]
+    if len(set(labels)) != len(labels):
+        raise LabelError("team members must have pairwise distinct labels")
+    starts = [member.start_node for member in members]
+    if len(set(starts)) != len(starts):
+        raise SimulationError("team members must start at pairwise distinct nodes")
+    model = model if model is not None else default_cost_model()
+
+    controllers = {
+        member.label: SGLController(
+            _agent_name(member.label), member.label, model=model, value=member.value
+        )
+        for member in members
+    }
+    specs = [
+        AgentSpec(controllers[member.label], member.start_node, dormant=member.dormant)
+        for member in members
+    ]
+    engine = AsyncEngine(
+        graph,
+        specs,
+        scheduler if scheduler is not None else RoundRobinScheduler(),
+        stop_when_all_output=True,
+        max_traversals=max_traversals,
+        on_cost_limit=on_cost_limit,
+    )
+    result = engine.run()
+
+    label_sets: Dict[int, Tuple[int, ...]] = {}
+    value_maps: Dict[int, Dict[int, Any]] = {}
+    for label, controller in controllers.items():
+        if controller.output is None:
+            continue
+        snapshot = tuple(sorted(controller.output))
+        label_sets[label] = tuple(entry[0] for entry in snapshot)
+        value_maps[label] = {entry[0]: entry[1] for entry in snapshot}
+    return SGLOutcome(
+        result=result,
+        label_sets=label_sets,
+        value_maps=value_maps,
+        expected_labels=tuple(sorted(labels)),
+    )
+
+
+def solve_team_size(
+    graph: PortLabeledGraph,
+    members: Iterable[TeamMember],
+    **kwargs,
+) -> Tuple[Dict[int, int], SGLOutcome]:
+    """Every agent outputs the total number of agents in the team."""
+    outcome = run_sgl(graph, members, **kwargs)
+    answers = {label: len(labels) for label, labels in outcome.label_sets.items()}
+    return answers, outcome
+
+
+def solve_leader_election(
+    graph: PortLabeledGraph,
+    members: Iterable[TeamMember],
+    **kwargs,
+) -> Tuple[Dict[int, int], SGLOutcome]:
+    """Every agent outputs the label of the leader (the smallest label)."""
+    outcome = run_sgl(graph, members, **kwargs)
+    answers = {label: min(labels) for label, labels in outcome.label_sets.items()}
+    return answers, outcome
+
+
+def solve_perfect_renaming(
+    graph: PortLabeledGraph,
+    members: Iterable[TeamMember],
+    **kwargs,
+) -> Tuple[Dict[int, int], SGLOutcome]:
+    """Every agent adopts a new label from ``{1, ..., k}``: the rank of its label."""
+    outcome = run_sgl(graph, members, **kwargs)
+    answers = {
+        label: sorted(labels).index(label) + 1
+        for label, labels in outcome.label_sets.items()
+    }
+    return answers, outcome
+
+
+def solve_gossiping(
+    graph: PortLabeledGraph,
+    members: Iterable[TeamMember],
+    **kwargs,
+) -> Tuple[Dict[int, Dict[int, Any]], SGLOutcome]:
+    """Every agent outputs the mapping from every label to that agent's value."""
+    outcome = run_sgl(graph, members, **kwargs)
+    return dict(outcome.value_maps), outcome

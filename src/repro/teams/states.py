@@ -1,0 +1,25 @@
+"""The three states of Algorithm SGL (§4): traveller, explorer and ghost.
+
+* A **traveller** executes Algorithm RV-asynch-poly until its first meeting
+  with agents that are not (all) explorers, or with agents that have heard of
+  a label smaller than its own.
+* An **explorer** has met a non-explorer; it uses that agent as the token of
+  Procedure ESST to learn a bound on the size of the graph (Phase 1), resumes
+  RV-asynch-poly up to a budget of edge traversals (Phase 2), and finally
+  either seeks its token or performs the closing double exploration
+  (Phase 3).
+* A **ghost** stops at the end of its current edge and never moves again; it
+  keeps exchanging information at meetings and outputs as soon as it is told
+  that its bag contains every label.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TRAVELLER", "EXPLORER", "GHOST", "ALL_STATES"]
+
+TRAVELLER = "traveller"
+EXPLORER = "explorer"
+GHOST = "ghost"
+
+#: All valid SGL states, in the order they are typically entered.
+ALL_STATES = (TRAVELLER, EXPLORER, GHOST)

@@ -1,0 +1,59 @@
+"""Tests of actions, observations and meeting records."""
+
+from __future__ import annotations
+
+from repro.sim.actions import AgentSnapshot, MeetingEvent, Move, Observation, Stop
+
+
+class TestActions:
+    def test_move_equality_and_repr(self):
+        assert Move(2) == Move(2)
+        assert Move(2) != Move(3)
+        assert Move(2) != Stop()
+        assert "2" in repr(Move(2))
+        assert hash(Move(2)) == hash(Move(2))
+
+    def test_stop_equality(self):
+        assert Stop() == Stop()
+        assert hash(Stop()) == hash(Stop())
+        assert repr(Stop()) == "Stop()"
+
+
+class TestObservation:
+    def test_fields_and_default(self):
+        observation = Observation(degree=3, entry_port=None)
+        assert observation.degree == 3
+        assert observation.entry_port is None
+        assert observation.traversals == 0
+
+    def test_is_immutable_tuple(self):
+        observation = Observation(degree=2, entry_port=1, traversals=7)
+        assert tuple(observation) == (2, 1, 7)
+
+
+def _snapshot(name: str, label: int) -> AgentSnapshot:
+    return AgentSnapshot(name=name, label=label, status="active", public={"label": label})
+
+
+class TestMeetingEvent:
+    def test_names_and_involves(self):
+        event = MeetingEvent(
+            participants=(_snapshot("a", 3), _snapshot("b", 9)),
+            node=4,
+            edge=None,
+            decision_index=10,
+            total_traversals=25,
+        )
+        assert event.names() == ("a", "b")
+        assert event.involves("a") and event.involves("b")
+        assert not event.involves("c")
+
+    def test_edge_meeting_has_no_node(self):
+        event = MeetingEvent(
+            participants=(_snapshot("a", 3),),
+            node=None,
+            edge=(0, 1),
+            decision_index=1,
+            total_traversals=2,
+        )
+        assert event.node is None and event.edge == (0, 1)

@@ -1,0 +1,59 @@
+"""Tests of the agent-controller abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.actions import Move, Observation, Stop
+from repro.sim.agent import AgentController, FunctionController, StationaryController
+
+
+class TestAgentController:
+    def test_base_start_is_abstract(self):
+        controller = AgentController("a", 5)
+        with pytest.raises(NotImplementedError):
+            controller.start(Observation(degree=2, entry_port=None))
+
+    def test_defaults(self):
+        controller = AgentController("a", 5)
+        assert controller.name == "a"
+        assert controller.label == 5
+        assert controller.output is None
+        assert not controller.has_output()
+        assert controller.public_snapshot() == {}
+
+    def test_public_snapshot_is_a_copy(self):
+        controller = AgentController("a")
+        controller.public["x"] = 1
+        snapshot = controller.public_snapshot()
+        snapshot["x"] = 2
+        assert controller.public["x"] == 1
+
+    def test_has_output_after_setting(self):
+        controller = AgentController("a")
+        controller.output = [1, 2]
+        assert controller.has_output()
+
+
+class TestFunctionController:
+    def test_wraps_program_and_exposes_label(self):
+        def program_factory(obs):
+            def program(obs):
+                yield Move(0)
+                yield Stop()
+
+            return program(obs)
+
+        controller = FunctionController("walker", program_factory, label=9)
+        assert controller.public["label"] == 9
+        program = controller.start(Observation(degree=2, entry_port=None))
+        assert next(program) == Move(0)
+
+
+class TestStationaryController:
+    def test_program_stops_immediately(self):
+        controller = StationaryController("token", label=3)
+        program = controller.start(Observation(degree=1, entry_port=None))
+        with pytest.raises(StopIteration):
+            next(program)
+        assert controller.public["label"] == 3

@@ -1,0 +1,75 @@
+"""Tests of the SGL bags and state constants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import LabelError
+from repro.teams.bag import Bag
+from repro.teams.states import ALL_STATES, EXPLORER, GHOST, TRAVELLER
+
+
+class TestStates:
+    def test_constants_are_distinct(self):
+        assert len({TRAVELLER, EXPLORER, GHOST}) == 3
+        assert set(ALL_STATES) == {TRAVELLER, EXPLORER, GHOST}
+
+
+class TestBag:
+    def test_initialisation_and_contains(self):
+        bag = Bag({5: "v"})
+        assert 5 in bag and 7 not in bag
+        assert len(bag) == 1
+        assert bag.min_label() == 5
+        assert bag.values() == {5: "v"}
+
+    def test_add_and_merge_grow_monotonically(self):
+        bag = Bag({5: None})
+        grew = bag.merge([(7, "x"), (9, None)])
+        assert grew
+        assert bag.labels() == (5, 7, 9)
+        grew_again = bag.merge([(7, "x")])
+        assert not grew_again
+
+    def test_merge_keeps_existing_values_but_fills_none(self):
+        bag = Bag({5: None})
+        bag.merge([(5, "late value")])
+        assert bag.values()[5] == "late value"
+        bag.merge([(5, "other")])
+        assert bag.values()[5] == "late value"
+
+    def test_snapshot_is_sorted_and_immutable(self):
+        bag = Bag({9: "b", 5: "a"})
+        snapshot = bag.snapshot()
+        assert snapshot == ((5, "a"), (9, "b"))
+        assert isinstance(snapshot, tuple)
+
+    def test_invalid_labels_rejected(self):
+        with pytest.raises(LabelError):
+            Bag({0: None})
+        bag = Bag({1: None})
+        with pytest.raises(LabelError):
+            bag.add(-2)
+        with pytest.raises(LabelError):
+            bag.add(True)
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20))
+    def test_merge_is_idempotent_and_order_insensitive(self, labels):
+        one = Bag({labels[0]: None})
+        two = Bag({labels[0]: None})
+        one.merge((label, None) for label in labels)
+        for label in reversed(labels):
+            two.merge([(label, None)])
+        assert one.labels() == two.labels() == tuple(sorted(set(labels)))
+        assert one.min_label() == min(labels)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=10),
+        st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=10),
+    )
+    def test_merging_snapshots_is_a_union(self, first, second):
+        a = Bag({label: None for label in first})
+        b = Bag({label: None for label in second})
+        a.merge(b.snapshot())
+        assert set(a.labels()) == set(first) | set(second)

@@ -1,0 +1,96 @@
+"""Tests of the naive exponential baseline algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelError
+from repro.core.baseline import (
+    BaselineController,
+    baseline_route,
+    run_baseline_rendezvous,
+)
+from repro.graphs import families
+from repro.sim import LazyScheduler, RoundRobinScheduler
+
+from .helpers import drive_walk
+
+
+class TestBaselineRoute:
+    def test_route_length_is_exactly_the_exponential_formula(self, tiny_model, ring4):
+        """The agent performs (2P(n)+1)^L · 2P(n) traversals and then stops."""
+        label, n = 2, 4
+        expected = tiny_model.baseline_trajectory_length(n, label)
+
+        def factory(obs):
+            return baseline_route(label, n, tiny_model, obs)
+
+        walk = drive_walk(ring4, 0, factory)
+        assert walk.length == expected
+        assert walk.end == 0  # X(n, v) is closed, so the agent stops at home
+
+    def test_route_grows_exponentially_with_the_label(self, tiny_model, ring4):
+        lengths = []
+        for label in (1, 2):
+            walk = drive_walk(
+                ring4, 0, lambda obs, lab=label: baseline_route(lab, 4, tiny_model, obs)
+            )
+            lengths.append(walk.length)
+        assert lengths[1] == lengths[0] * (2 * tiny_model.P(4) + 1)
+
+    def test_invalid_parameters(self, tiny_model, ring4):
+        with pytest.raises(LabelError):
+            drive_walk(ring4, 0, lambda obs: baseline_route(0, 4, tiny_model, obs))
+        with pytest.raises(LabelError):
+            drive_walk(ring4, 0, lambda obs: baseline_route(1, 0, tiny_model, obs))
+
+
+class TestBaselineRendezvous:
+    def test_agents_meet_under_round_robin(self, sim_model, ring6):
+        result = run_baseline_rendezvous(
+            ring6, [(1, 0), (2, 3)], model=sim_model, max_traversals=500_000
+        )
+        assert result.met
+
+    def test_agents_meet_under_delay_until_stop(self, sim_model, ring6):
+        result = run_baseline_rendezvous(
+            ring6,
+            [(1, 0), (2, 3)],
+            scheduler=LazyScheduler("agent-2", release_after=None),
+            model=sim_model,
+            max_traversals=500_000,
+        )
+        assert result.met
+
+    def test_known_size_defaults_to_graph_size(self, sim_model, ring6):
+        controller = BaselineController("b", 3, ring6.size, sim_model)
+        assert controller.known_size == ring6.size
+        assert controller.public["algorithm"] == "naive-exponential"
+
+    def test_identical_labels_rejected(self, sim_model, ring6):
+        with pytest.raises(LabelError):
+            run_baseline_rendezvous(ring6, [(2, 0), (2, 3)], model=sim_model)
+
+    def test_wrong_team_size_rejected(self, sim_model, ring6):
+        with pytest.raises(LabelError):
+            run_baseline_rendezvous(ring6, [(2, 0), (3, 1), (4, 2)], model=sim_model)
+
+    def test_underestimating_the_size_can_break_the_baseline(self, sim_model):
+        """The baseline needs a correct size bound: with n' < n both agents can
+        stop without meeting — the drawback RV-asynch-poly removes.
+
+        The path is long enough that the two agents' (too short) exploration
+        walks cannot even overlap in space, so the failure is deterministic.
+        """
+        graph = families.path(24)
+        result = run_baseline_rendezvous(
+            graph,
+            [(1, 0), (2, 23)],
+            known_size=1,  # far below the real size
+            scheduler=RoundRobinScheduler(),
+            model=sim_model,
+            max_traversals=200_000,
+            on_cost_limit="return",
+        )
+        assert not result.met
+        assert result.reason == "all_stopped"

@@ -1,0 +1,73 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rendezvous_defaults(self):
+        args = build_parser().parse_args(["rendezvous"])
+        assert args.family == "ring"
+        assert args.size == 6
+        assert tuple(args.labels) == (6, 11)
+        assert args.scheduler == "round_robin"
+        assert not args.baseline
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "e3"])
+        assert args.name == "e3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "e99"])
+
+
+class TestCommands:
+    def test_rendezvous_command_meets(self, capsys):
+        code = main(["rendezvous", "--family", "ring", "--size", "6", "--labels", "5", "12"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "RV-asynch-poly" in captured.out
+        assert "meeting" in captured.out
+
+    def test_rendezvous_baseline_flag(self, capsys):
+        code = main(
+            ["rendezvous", "--family", "ring", "--size", "5", "--labels", "1", "2", "--baseline"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "baseline" in captured.out
+
+    def test_esst_command(self, capsys):
+        code = main(["esst", "--family", "ring", "--size", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "all edges traversed: True" in captured.out
+
+    def test_experiment_f1(self, capsys):
+        code = main(["experiment", "f1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Figure 1" in captured.out
+
+    def test_experiment_e3(self, capsys):
+        code = main(["experiment", "e3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "baseline_bound" in captured.out
+
+    @pytest.mark.sgl
+    def test_teams_command(self, capsys):
+        code = main(
+            ["teams", "--family", "ring", "--size", "4", "--team-size", "2",
+             "--max-traversals", "4000000"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "outputs correct: True" in captured.out
+        assert "leader" in captured.out

@@ -1,0 +1,59 @@
+"""Tests of the geometric embedding used for reporting."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import GraphEmbedding, families
+
+
+class TestEmbedding:
+    def test_node_points_are_distinct(self, ring6):
+        embedding = GraphEmbedding(ring6)
+        points = [embedding.node_point(v) for v in ring6.nodes()]
+        coordinates = {(p.x, p.y, p.z) for p in points}
+        assert len(coordinates) == ring6.size
+
+    def test_edge_endpoints_match_node_points(self, ring6):
+        embedding = GraphEmbedding(ring6)
+        for key in ring6.edges():
+            start = embedding.edge_point(key, Fraction(0))
+            end = embedding.edge_point(key, Fraction(1))
+            assert start.distance_to(embedding.node_point(key[0])) < 1e-12
+            assert end.distance_to(embedding.node_point(key[1])) < 1e-12
+
+    def test_interior_points_are_lifted(self, ring6):
+        embedding = GraphEmbedding(ring6)
+        key = next(iter(sorted(ring6.edges())))
+        midpoint = embedding.edge_point(key, Fraction(1, 2))
+        assert midpoint.z > 0
+
+    def test_distinct_edges_have_distinct_interiors(self, small_er):
+        embedding = GraphEmbedding(small_er)
+        midpoints = [
+            embedding.edge_point(key, Fraction(1, 2)) for key in sorted(small_er.edges())
+        ]
+        seen = {(round(p.x, 9), round(p.y, 9), round(p.z, 9)) for p in midpoints}
+        assert len(seen) == small_er.num_edges
+
+    def test_invalid_queries(self, ring6):
+        embedding = GraphEmbedding(ring6)
+        with pytest.raises(GraphError):
+            embedding.node_point(42)
+        with pytest.raises(GraphError):
+            embedding.edge_point((0, 3), Fraction(1, 2))  # not an edge of the ring
+        with pytest.raises(GraphError):
+            embedding.edge_point((0, 1), Fraction(3, 2))
+
+    def test_graph_property(self, ring6):
+        embedding = GraphEmbedding(ring6)
+        assert embedding.graph is ring6
+
+    def test_distance_is_symmetric(self, ring6):
+        embedding = GraphEmbedding(ring6)
+        a = embedding.node_point(0)
+        b = embedding.node_point(3)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))

@@ -1,0 +1,120 @@
+"""Tests of the experiment drivers (E1–E6, F1–F4) with quick parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiments
+from repro.exceptions import ReproError
+from repro.exploration.cost_model import PaperCostModel
+
+
+class TestSchedulerRegistry:
+    @pytest.mark.parametrize("name", experiments.SCHEDULER_NAMES)
+    def test_every_named_scheduler_builds(self, name):
+        assert experiments.make_scheduler(name) is not None
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ReproError):
+            experiments.make_scheduler("chaotic")
+
+
+class TestFigureStructures:
+    def test_covers_all_four_figures(self, sim_model):
+        records = experiments.figure_structures(ks=(1, 2), model=sim_model)
+        figures = {record.figure for record in records}
+        assert figures == {"Figure 1", "Figure 2", "Figure 3", "Figure 4"}
+        assert all(record.length > 0 for record in records)
+
+    def test_table_mentions_compositions(self, sim_model):
+        records = experiments.figure_structures(ks=(1,), model=sim_model)
+        table = experiments.figure_structures_table(records)
+        assert "trunk nodes" in table
+        assert "Figure 3" in table
+
+
+class TestRendezvousVsSize:
+    def test_quick_run(self, sim_model):
+        records = experiments.rendezvous_vs_size(
+            sizes=(4, 6),
+            family_names=("ring",),
+            scheduler_names=("round_robin",),
+            algorithms=("rv_asynch_poly", "baseline"),
+            model=sim_model,
+            max_traversals=300_000,
+        )
+        assert len(records) == 4
+        assert all(record.met for record in records)
+        table = experiments.rendezvous_vs_size_table(records)
+        assert "rv_asynch_poly" in table and "baseline" in table
+
+    def test_unknown_algorithm_rejected(self, sim_model):
+        with pytest.raises(ReproError):
+            experiments.rendezvous_vs_size(
+                sizes=(4,),
+                family_names=("ring",),
+                scheduler_names=("round_robin",),
+                algorithms=("quantum",),
+                model=sim_model,
+            )
+
+
+class TestRendezvousVsLabel:
+    def test_quick_run(self, sim_model):
+        records = experiments.rendezvous_vs_label(
+            small_labels=(1, 2), n=5, model=sim_model, max_traversals=300_000
+        )
+        assert len(records) == 4
+        rv = [r for r in records if r.algorithm == "rv_asynch_poly"]
+        baseline = [r for r in records if r.algorithm == "baseline"]
+        assert all(record.met for record in records)
+        # The guarantees behave as the paper says: the baseline's bound grows
+        # with the label value, the RV bound only with the label length.
+        assert baseline[1].guaranteed_bound > baseline[0].guaranteed_bound
+        assert rv[0].guaranteed_bound <= rv[1].guaranteed_bound
+        table = experiments.rendezvous_vs_label_table(records)
+        assert "guaranteed_bound" in table
+
+
+class TestBoundScaling:
+    def test_quick_run_and_classification(self):
+        records = experiments.bound_scaling(
+            sizes=(2, 4, 8), labels=(1, 2, 4, 8, 16), model=PaperCostModel()
+        )
+        assert len(records) == 15
+        table = experiments.bound_scaling_table(records)
+        assert "polynomial" in table and "exponential" in table
+
+
+class TestESSTScaling:
+    def test_quick_run(self, sim_model):
+        records = experiments.esst_scaling(
+            sizes=(4,), family_names=("ring", "path"), model=sim_model
+        )
+        assert len(records) == 2
+        assert all(record.all_edges_traversed for record in records)
+        assert all(record.final_phase <= record.phase_bound for record in records)
+        assert "ESST" in experiments.esst_scaling_table(records)
+
+
+class TestAdversaryAblation:
+    def test_quick_run(self, sim_model):
+        records = experiments.adversary_ablation(
+            family="ring", n=6, patiences=(4, 16), model=sim_model, max_traversals=300_000
+        )
+        schedulers = [record.scheduler for record in records]
+        assert schedulers.count("avoider") == 2
+        assert all(record.met for record in records)
+        assert "avoider" in experiments.adversary_ablation_table(records)
+
+
+@pytest.mark.sgl
+class TestTeamScaling:
+    def test_quick_run(self, sim_model):
+        records = experiments.team_scaling(
+            sizes=(4,), team_sizes=(2,), family="ring", model=sim_model,
+            max_traversals=4_000_000,
+        )
+        assert len(records) == 1
+        assert records[0].correct
+        assert "team_size" in experiments.team_scaling_table(records)

@@ -1,0 +1,99 @@
+"""Tests of agent labels and the modified-label transformation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import LabelError
+from repro.core.labels import (
+    binary_bits,
+    first_difference,
+    label_length,
+    modified_label,
+    modified_label_length,
+    validate_label,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "7", None, True])
+    def test_rejects_non_positive_or_non_int(self, bad):
+        with pytest.raises(LabelError):
+            validate_label(bad)
+
+    def test_accepts_positive_integers(self):
+        assert validate_label(1) == 1
+        assert validate_label(10**12) == 10**12
+
+
+class TestBinaryBits:
+    @pytest.mark.parametrize(
+        "label, bits",
+        [(1, (1,)), (2, (1, 0)), (5, (1, 0, 1)), (12, (1, 1, 0, 0))],
+    )
+    def test_examples(self, label, bits):
+        assert binary_bits(label) == bits
+
+    def test_length_matches(self):
+        assert label_length(1) == 1
+        assert label_length(255) == 8
+        assert label_length(256) == 9
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_roundtrip(self, label):
+        bits = binary_bits(label)
+        assert bits[0] == 1  # no leading zeros
+        assert int("".join(map(str, bits)), 2) == label
+
+
+class TestModifiedLabel:
+    @pytest.mark.parametrize(
+        "label, code",
+        [
+            (1, (1, 1, 0, 1)),
+            (2, (1, 1, 0, 0, 0, 1)),
+            (5, (1, 1, 0, 0, 1, 1, 0, 1)),
+        ],
+    )
+    def test_examples(self, label, code):
+        assert modified_label(label) == code
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_length_is_2m_plus_2(self, label):
+        assert len(modified_label(label)) == 2 * label_length(label) + 2
+        assert modified_label_length(label) == len(modified_label(label))
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_ends_with_delimiter(self, label):
+        assert modified_label(label)[-2:] == (0, 1)
+
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=1, max_value=5000),
+    )
+    def test_never_a_prefix_of_another(self, a, b):
+        """M(x) is never a prefix of M(y) for x != y (the key property of §3.1)."""
+        code_a, code_b = modified_label(a), modified_label(b)
+        if a == b:
+            assert code_a == code_b
+        else:
+            assert code_a != code_b
+            shorter, longer = sorted((code_a, code_b), key=len)
+            assert longer[: len(shorter)] != shorter
+
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=1, max_value=5000),
+    )
+    def test_first_difference_is_a_real_difference(self, a, b):
+        if a == b:
+            with pytest.raises(LabelError):
+                first_difference(a, b)
+            return
+        position = first_difference(a, b)
+        code_a, code_b = modified_label(a), modified_label(b)
+        shorter = min(len(code_a), len(code_b))
+        assert 1 < position <= shorter
+        assert code_a[position - 1] != code_b[position - 1]
+        assert code_a[: position - 1] == code_b[: position - 1]

@@ -1,0 +1,55 @@
+"""Tests of exact positions inside the embedding."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.position import ONE, ZERO, Position
+
+
+class TestConstruction:
+    def test_at_node(self):
+        position = Position.at_node(4)
+        assert position.is_at_node and not position.is_inside_edge
+        assert position.node == 4 and position.edge is None
+
+    def test_on_edge_interior(self):
+        position = Position.on_edge((1, 5), Fraction(1, 3))
+        assert position.is_inside_edge and not position.is_at_node
+        assert position.edge == (1, 5) and position.fraction == Fraction(1, 3)
+
+    def test_endpoints_normalise_to_nodes(self):
+        assert Position.on_edge((1, 5), Fraction(0)) == Position.at_node(1)
+        assert Position.on_edge((1, 5), Fraction(1)) == Position.at_node(5)
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(SimulationError):
+            Position.on_edge((1, 5), Fraction(3, 2))
+        with pytest.raises(SimulationError):
+            Position.on_edge((1, 5), Fraction(-1, 2))
+
+    def test_equality_is_point_equality(self):
+        a = Position.on_edge((0, 2), Fraction(1, 2))
+        b = Position.on_edge((0, 2), Fraction(2, 4))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestFractionOn:
+    def test_interior_point(self):
+        position = Position.on_edge((1, 5), Fraction(1, 4))
+        assert position.fraction_on((1, 5)) == Fraction(1, 4)
+        assert position.fraction_on((0, 1)) is None
+
+    def test_node_as_endpoint(self):
+        position = Position.at_node(5)
+        assert position.fraction_on((1, 5)) == ONE
+        assert position.fraction_on((5, 9)) == ZERO
+        assert position.fraction_on((0, 1)) is None
+
+    def test_describe(self):
+        assert "node 3" in Position.at_node(3).describe()
+        assert "edge" in Position.on_edge((0, 1), Fraction(1, 2)).describe()

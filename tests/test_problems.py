@@ -1,0 +1,79 @@
+"""Tests of the four applications built on Algorithm SGL (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import families
+from repro.teams import (
+    TeamMember,
+    solve_gossiping,
+    solve_leader_election,
+    solve_perfect_renaming,
+    solve_team_size,
+)
+
+pytestmark = pytest.mark.sgl
+
+
+@pytest.fixture(scope="module")
+def team_setup(sim_model_module):
+    """One SGL-sized setup shared by the four problem tests."""
+    graph = families.ring(4)
+    members = [
+        TeamMember(7, 0, value="red"),
+        TeamMember(3, 1, value="green"),
+        TeamMember(11, 2, value="blue"),
+    ]
+    return graph, members
+
+
+@pytest.fixture(scope="module")
+def sim_model_module():
+    from repro.exploration.cost_model import SimulationCostModel
+
+    return SimulationCostModel()
+
+
+class TestTeamSize:
+    def test_every_agent_counts_the_team(self, team_setup, sim_model_module):
+        graph, members = team_setup
+        answers, outcome = solve_team_size(
+            graph, members, model=sim_model_module, max_traversals=4_000_000
+        )
+        assert outcome.correct
+        assert answers == {7: 3, 3: 3, 11: 3}
+
+
+class TestLeaderElection:
+    def test_everyone_elects_the_smallest_label(self, team_setup, sim_model_module):
+        graph, members = team_setup
+        answers, outcome = solve_leader_election(
+            graph, members, model=sim_model_module, max_traversals=4_000_000
+        )
+        assert outcome.correct
+        assert set(answers.values()) == {3}
+        assert set(answers.keys()) == {3, 7, 11}
+
+
+class TestPerfectRenaming:
+    def test_new_names_are_a_bijection_onto_1_to_k(self, team_setup, sim_model_module):
+        graph, members = team_setup
+        answers, outcome = solve_perfect_renaming(
+            graph, members, model=sim_model_module, max_traversals=4_000_000
+        )
+        assert outcome.correct
+        assert sorted(answers.values()) == [1, 2, 3]
+        # Ranks follow the label order: 3 -> 1, 7 -> 2, 11 -> 3.
+        assert answers == {3: 1, 7: 2, 11: 3}
+
+
+class TestGossiping:
+    def test_every_agent_learns_every_value(self, team_setup, sim_model_module):
+        graph, members = team_setup
+        answers, outcome = solve_gossiping(
+            graph, members, model=sim_model_module, max_traversals=4_000_000
+        )
+        assert outcome.correct
+        expected = {7: "red", 3: "green", 11: "blue"}
+        assert answers == {7: expected, 3: expected, 11: expected}

@@ -1,0 +1,187 @@
+"""Property-based tests of the execution engine and the graph substrate.
+
+Hypothesis generates random connected graphs, random placements and random
+walk scripts; the properties are the model invariants the rest of the library
+relies on:
+
+* the builder only ever produces valid port-labeled graphs;
+* cost accounting is exact (total = sum over agents = number of completed
+  traversals), whatever the interleaving;
+* a meeting reported by the engine always involves agents whose positions
+  coincide, and rendezvous runs stop at the first goal meeting;
+* relabeling nodes (which agents cannot observe) never changes an execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import families
+from repro.graphs.port_graph import PortGraphBuilder
+from repro.sim import (
+    AgentSpec,
+    AsyncEngine,
+    FunctionController,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim.actions import Move
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def random_connected_graph(draw):
+    """A random connected simple graph built through the public builder."""
+    n = draw(st.integers(min_value=3, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    probability = draw(st.sampled_from([0.0, 0.2, 0.5, 0.9]))
+    return families.random_connected(n, probability, rng_seed=seed)
+
+
+@st.composite
+def walk_script(draw, max_length=12):
+    """A list of port *choices* (taken modulo the degree when executed)."""
+    return draw(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=max_length)
+    )
+
+
+def scripted(name, script, label=None):
+    """A controller that follows ``script`` (each entry modulo the degree)."""
+
+    def factory(obs):
+        def program(obs):
+            for choice in script:
+                obs = yield Move(choice % obs.degree)
+            return obs
+
+        return program(obs)
+
+    return FunctionController(name, factory, label=label)
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+class TestGraphProperties:
+    @given(graph=random_connected_graph())
+    def test_generated_graphs_satisfy_the_port_model(self, graph):
+        degree_sum = 0
+        for node in graph.nodes():
+            degree = graph.degree(node)
+            degree_sum += degree
+            neighbours = set()
+            for port in range(degree):
+                target, back = graph.traverse(node, port)
+                # port symmetry: coming back through `back` returns here
+                assert graph.traverse(target, back) == (node, port)
+                neighbours.add(target)
+            # simple graph: all neighbours distinct, no self-loop
+            assert len(neighbours) == degree
+            assert node not in neighbours
+        assert degree_sum == 2 * graph.num_edges
+
+    @given(graph=random_connected_graph(), data=st.data())
+    def test_walks_stay_inside_the_graph(self, graph, data):
+        start = data.draw(st.sampled_from(sorted(graph.nodes())))
+        script = data.draw(walk_script())
+        controller = scripted("w", script)
+        engine = AsyncEngine(graph, [AgentSpec(controller, start)], RoundRobinScheduler())
+        result = engine.run()
+        assert result.total_traversals == len(script)
+
+
+class TestCostAccounting:
+    @given(
+        graph=random_connected_graph(),
+        data=st.data(),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30)
+    def test_totals_match_per_agent_counts_under_any_interleaving(self, graph, data, seed):
+        nodes = sorted(graph.nodes())
+        start_a = data.draw(st.sampled_from(nodes))
+        start_b = data.draw(st.sampled_from(nodes))
+        script_a = data.draw(walk_script())
+        script_b = data.draw(walk_script())
+        engine = AsyncEngine(
+            graph,
+            [
+                AgentSpec(scripted("a", script_a, label=1), start_a),
+                AgentSpec(scripted("b", script_b, label=2), start_b),
+            ],
+            RandomScheduler(seed=seed),
+        )
+        result = engine.run()
+        assert result.total_traversals == sum(result.traversals_by_agent.values())
+        assert result.total_traversals == len(script_a) + len(script_b)
+        assert result.traversals_by_agent == {"a": len(script_a), "b": len(script_b)}
+
+
+class TestMeetingProperties:
+    @given(
+        graph=random_connected_graph(),
+        data=st.data(),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30)
+    def test_goal_meetings_end_the_run_and_are_sound(self, graph, data, seed):
+        nodes = sorted(graph.nodes())
+        start_a = data.draw(st.sampled_from(nodes))
+        start_b = data.draw(st.sampled_from(nodes))
+        script_a = data.draw(walk_script(max_length=20))
+        script_b = data.draw(walk_script(max_length=20))
+        engine = AsyncEngine(
+            graph,
+            [
+                AgentSpec(scripted("a", script_a, label=1), start_a),
+                AgentSpec(scripted("b", script_b, label=2), start_b),
+            ],
+            RandomScheduler(seed=seed),
+            rendezvous=("a", "b"),
+        )
+        result = engine.run()
+        if result.met:
+            meeting = result.meeting
+            # The meeting is the last event of the run and involves both agents.
+            assert result.meetings[-1] is meeting
+            assert set(meeting.names()) >= {"a", "b"}
+            assert (meeting.node is None) != (meeting.edge is None)
+            assert meeting.total_traversals <= len(script_a) + len(script_b)
+        else:
+            # No goal meeting: the run only ends once both scripts are exhausted.
+            assert result.total_traversals == len(script_a) + len(script_b)
+        # Starting at the same node must always be an immediate meeting.
+        if start_a == start_b:
+            assert result.met and result.total_traversals == 0
+
+    @given(graph=random_connected_graph(), data=st.data(), offset=st.integers(1, 1000))
+    @settings(max_examples=25)
+    def test_executions_are_oblivious_to_node_identities(self, graph, data, offset):
+        nodes = sorted(graph.nodes())
+        start_a = data.draw(st.sampled_from(nodes))
+        start_b = data.draw(st.sampled_from(nodes))
+        script_a = data.draw(walk_script())
+        script_b = data.draw(walk_script())
+
+        def run(g, sa, sb):
+            engine = AsyncEngine(
+                g,
+                [
+                    AgentSpec(scripted("a", script_a, label=1), sa),
+                    AgentSpec(scripted("b", script_b, label=2), sb),
+                ],
+                RoundRobinScheduler(),
+                rendezvous=("a", "b"),
+            )
+            return engine.run()
+
+        mapping = {v: v + offset for v in nodes}
+        original = run(graph, start_a, start_b)
+        relabeled = run(graph.relabeled(mapping), mapping[start_a], mapping[start_b])
+        assert original.met == relabeled.met
+        assert original.total_traversals == relabeled.total_traversals
+        assert original.decisions == relabeled.decisions

@@ -1,0 +1,178 @@
+"""Tests of Algorithm RV-asynch-poly (the main result)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelError
+from repro.core.labels import modified_label
+from repro.core.rendezvous import RendezvousController, run_rendezvous, rv_route
+from repro.exploration.walker import Tape
+from repro.graphs import families
+from repro.sim import (
+    GreedyAvoidingScheduler,
+    LazyScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim.results import StopReason
+
+from .helpers import drive_walk
+
+
+class TestRvRoute:
+    def test_route_never_stops_on_its_own(self, tiny_model, ring6):
+        """RV-asynch-poly runs "until rendezvous": the route is infinite."""
+        label = 1
+
+        def factory(obs):
+            return rv_route(label, tiny_model, obs, Tape())
+
+        walk = drive_walk(ring6, 0, factory, max_moves=500)
+        assert walk.length == 500
+        assert walk.return_value is None and not walk.stopped_explicitly
+
+    def test_route_starts_with_the_segment_of_the_first_modified_bit(self, tiny_model, ring6):
+        """M(1) = (1, 1, 0, 1): the first bit is 1, so the route opens with
+        B(2, v), i.e. repetitions of Y(2, v) anchored at the starting node."""
+        label = 1
+        bits = modified_label(label)
+        assert bits[0] == 1
+        y_length = tiny_model.len_Y(2)
+
+        from repro.core.trajectories import traj_Y
+
+        def y_factory(obs):
+            def program(obs):
+                obs = yield from traj_Y(2, tiny_model, Tape(), obs)
+                return obs
+
+            return program(obs)
+
+        reference = drive_walk(ring6, 0, y_factory)
+
+        def route_factory(obs):
+            return rv_route(label, tiny_model, obs, Tape())
+
+        walk = drive_walk(ring6, 0, route_factory, max_moves=2 * y_length)
+        # The route's first 2 copies of Y(2, v) match the stand-alone Y(2, v).
+        expected_nodes = [0] + reference.nodes[1:] + reference.nodes[1:]
+        assert walk.nodes == expected_nodes
+        # Each copy is anchored at the starting node.
+        assert walk.nodes[y_length] == 0 and walk.nodes[2 * y_length] == 0
+
+    def test_route_with_zero_bit_starts_with_a_trajectory(self, tiny_model, ring4):
+        """M(2) = (1, 1, 0, 0, 0, 1): still bit 1 first, but check a label whose
+        second processed bit is 0 — in iteration k=2 the second segment is
+        A(8, v)^2; here we only check that the route is well-formed early on
+        (anchored prefixes of closed trajectories)."""
+        label = 2
+        y_length = tiny_model.len_Y(2)
+
+        def factory(obs):
+            return rv_route(label, tiny_model, obs, Tape())
+
+        walk = drive_walk(ring4, 0, factory, max_moves=y_length)
+        assert walk.nodes[y_length] == 0
+
+    def test_invalid_label_rejected(self, tiny_model, ring6):
+        with pytest.raises(LabelError):
+            drive_walk(
+                ring6, 0, lambda obs: rv_route(0, tiny_model, obs), max_moves=1
+            )
+
+
+class TestRendezvousRuns:
+    @pytest.mark.parametrize(
+        "graph_builder, starts",
+        [
+            (lambda: families.ring(6), (0, 3)),
+            (lambda: families.path(6), (0, 5)),
+            (lambda: families.complete_graph(5), (0, 3)),
+            (lambda: families.binary_tree(7), (2, 6)),
+            (lambda: families.random_connected(8, 0.3, rng_seed=4), (0, 4)),
+            (lambda: families.lollipop(4, 3), (0, 6)),
+        ],
+    )
+    def test_meeting_happens_on_every_family(self, graph_builder, starts, sim_model):
+        graph = graph_builder()
+        result = run_rendezvous(
+            graph,
+            [(6, starts[0]), (11, starts[1])],
+            model=sim_model,
+            max_traversals=500_000,
+        )
+        assert result.met
+        assert result.reason == StopReason.MEETING
+        assert result.cost() <= 500_000
+
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            RoundRobinScheduler,
+            lambda: RandomScheduler(seed=3),
+            lambda: LazyScheduler("agent-1", release_after=50),
+            lambda: LazyScheduler("agent-2", release_after=None),
+            lambda: GreedyAvoidingScheduler(patience=32),
+        ],
+    )
+    def test_meeting_under_every_adversary(self, scheduler_factory, sim_model, ring6):
+        result = run_rendezvous(
+            ring6,
+            [(6, 0), (11, 3)],
+            scheduler=scheduler_factory(),
+            model=sim_model,
+            max_traversals=500_000,
+        )
+        assert result.met
+
+    @pytest.mark.parametrize("labels", [(1, 2), (2, 3), (7, 8), (5, 40), (1023, 1024)])
+    def test_meeting_for_various_label_pairs(self, labels, sim_model, ring4):
+        result = run_rendezvous(
+            ring4,
+            [(labels[0], 0), (labels[1], 2)],
+            model=sim_model,
+            max_traversals=500_000,
+        )
+        assert result.met
+
+    def test_cost_is_within_the_theorem_bound(self, sim_model, ring6):
+        """Measured cost never exceeds Π(n, min(|L1|, |L2|)) (Theorem 3.1)."""
+        result = run_rendezvous(ring6, [(6, 0), (11, 3)], model=sim_model)
+        bound = sim_model.pi_bound(ring6.size, min(6 .bit_length(), 11 .bit_length()))
+        assert result.cost() <= bound
+
+    def test_meeting_point_is_node_or_edge(self, sim_model, ring6):
+        result = run_rendezvous(ring6, [(6, 0), (11, 3)], model=sim_model)
+        meeting = result.meeting
+        assert (meeting.node is not None) != (meeting.edge is not None)
+
+    def test_identical_labels_rejected(self, sim_model, ring6):
+        with pytest.raises(LabelError):
+            run_rendezvous(ring6, [(6, 0), (6, 3)], model=sim_model)
+
+    def test_wrong_number_of_agents_rejected(self, sim_model, ring6):
+        with pytest.raises(LabelError):
+            run_rendezvous(ring6, [(6, 0)], model=sim_model)
+
+    def test_agents_are_oblivious_to_node_identities(self, sim_model, ring6):
+        """Relabeling nodes does not change the cost (ports are what matter)."""
+        mapping = {v: (v * 7 + 3) % 100 for v in ring6.nodes()}
+        relabeled = ring6.relabeled(mapping)
+        original = run_rendezvous(ring6, [(6, 0), (11, 3)], model=sim_model)
+        shifted = run_rendezvous(
+            relabeled, [(6, mapping[0]), (11, mapping[3])], model=sim_model
+        )
+        assert original.cost() == shifted.cost()
+
+
+class TestRendezvousController:
+    def test_controller_exposes_label_and_model(self, sim_model):
+        controller = RendezvousController("a", 9, sim_model)
+        assert controller.label == 9
+        assert controller.model is sim_model
+        assert controller.public["algorithm"] == "RV-asynch-poly"
+
+    def test_controller_rejects_invalid_label(self, sim_model):
+        with pytest.raises(LabelError):
+            RendezvousController("a", -1, sim_model)

@@ -1,0 +1,243 @@
+"""Tests of the adversarial schedulers."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+import pytest
+
+from repro.exceptions import SchedulerError
+from repro.graphs import families
+from repro.sim import (
+    AgentSpec,
+    AsyncEngine,
+    FunctionController,
+    GreedyAvoidingScheduler,
+    LazyScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    StationaryController,
+)
+from repro.sim.actions import Move
+from repro.sim.schedulers import Advance, Scheduler, Wake, complete
+
+
+def walker(name: str, ports: Sequence[int], label: int = 1) -> FunctionController:
+    def factory(obs):
+        def program(obs):
+            for port in ports:
+                obs = yield Move(port)
+            return obs
+
+        return program(obs)
+
+    return FunctionController(name, factory, label=label)
+
+
+def run(graph, agents, scheduler, **kwargs):
+    engine = AsyncEngine(graph, agents, scheduler, **kwargs)
+    return engine.run()
+
+
+class TestRoundRobin:
+    def test_alternates_between_agents(self, ring6):
+        result = run(
+            ring6,
+            [AgentSpec(walker("a", [0] * 4), 0), AgentSpec(walker("b", [0] * 4), 3)],
+            RoundRobinScheduler(),
+        )
+        assert result.traversals_by_agent == {"a": 4, "b": 4}
+
+    def test_respects_explicit_order(self, ring6):
+        scheduler = RoundRobinScheduler(order=["b", "a"])
+        engine = AsyncEngine(
+            ring6,
+            [AgentSpec(walker("a", [0]), 0), AgentSpec(walker("b", [0]), 3)],
+            scheduler,
+        )
+        engine._bootstrap()
+        first = scheduler.decide(engine.view)
+        assert isinstance(first, Advance) and first.agent == "b"
+
+    def test_skips_non_eligible_agents(self, ring6):
+        result = run(
+            ring6,
+            [
+                AgentSpec(walker("a", [0, 0]), 0),
+                AgentSpec(StationaryController("b"), 3),
+            ],
+            RoundRobinScheduler(),
+        )
+        assert result.traversals_by_agent == {"a": 2, "b": 0}
+
+
+class TestRandomScheduler:
+    def test_same_seed_same_interleaving(self, ring6):
+        def agents():
+            return [
+                AgentSpec(walker("a", [0] * 6), 0),
+                AgentSpec(walker("b", [0] * 6), 3),
+            ]
+
+        first = run(ring6, agents(), RandomScheduler(seed=5))
+        second = run(ring6, agents(), RandomScheduler(seed=5))
+        assert first.traversals_by_agent == second.traversals_by_agent
+        assert first.decisions == second.decisions
+
+    def test_weights_bias_the_choice(self, ring6):
+        # With weight 0 on "b", only "a" should ever be advanced while "a" is
+        # still eligible.
+        scheduler = RandomScheduler(seed=1, weights={"a": 1.0, "b": 0.0})
+        result = run(
+            ring6,
+            [AgentSpec(walker("a", [0] * 3), 0), AgentSpec(walker("b", [0] * 3), 3)],
+            scheduler,
+        )
+        # both finish eventually (b runs once a has stopped)
+        assert result.traversals_by_agent == {"a": 3, "b": 3}
+
+
+class TestLazyScheduler:
+    def test_starves_until_threshold(self, ring6):
+        scheduler = LazyScheduler("b", release_after=4)
+        trace = []
+
+        class TrackingScheduler(LazyScheduler):
+            def choose(self, view):
+                decision = super().choose(view)
+                if isinstance(decision, Advance):
+                    trace.append(decision.agent)
+                return decision
+
+        scheduler = TrackingScheduler("b", release_after=4)
+        run(
+            ring6,
+            [AgentSpec(walker("a", [0] * 6), 0), AgentSpec(walker("b", [0] * 6), 3)],
+            scheduler,
+        )
+        assert trace[:4] == ["a", "a", "a", "a"]
+        assert "b" in trace[4:]
+        assert scheduler.released
+
+    def test_delay_until_stop_releases_only_when_others_stop(self, ring6):
+        scheduler = LazyScheduler("b", release_after=None)
+        result = run(
+            ring6,
+            [AgentSpec(walker("a", [0] * 3), 0), AgentSpec(walker("b", [0] * 2), 3)],
+            scheduler,
+        )
+        # "a" performs its whole walk before "b" moves at all.
+        assert result.traversals_by_agent == {"a": 3, "b": 2}
+        assert scheduler.released
+
+
+class TestGreedyAvoidingScheduler:
+    def test_rejects_non_positive_patience(self):
+        with pytest.raises(SchedulerError):
+            GreedyAvoidingScheduler(patience=0)
+
+    def test_meeting_is_delayed_but_not_prevented(self, ring4):
+        # Two agents walking towards each other on a tiny ring: the avoider
+        # parks them repeatedly (partial advances) but patience eventually
+        # forces the meeting.
+        result = run(
+            ring4,
+            [
+                AgentSpec(walker("a", [0] * 40, label=1), 0),
+                AgentSpec(walker("b", [0] * 40, label=2), 2),
+            ],
+            GreedyAvoidingScheduler(patience=8),
+            rendezvous=("a", "b"),
+        )
+        assert result.met
+        assert result.decisions > result.total_traversals  # parking happened
+
+    def test_larger_patience_means_at_least_as_many_decisions(self, ring4):
+        def agents():
+            return [
+                AgentSpec(walker("a", [0] * 40, label=1), 0),
+                AgentSpec(walker("b", [0] * 40, label=2), 2),
+            ]
+
+        small = run(ring4, agents(), GreedyAvoidingScheduler(patience=4), rendezvous=("a", "b"))
+        large = run(ring4, agents(), GreedyAvoidingScheduler(patience=32), rendezvous=("a", "b"))
+        assert large.decisions >= small.decisions
+
+    def test_avoider_produces_only_legal_advances(self, ring6):
+        # Run under the engine: any illegal decision would raise SchedulerError.
+        result = run(
+            ring6,
+            [
+                AgentSpec(walker("a", [0] * 20, label=1), 0),
+                AgentSpec(walker("b", [1] * 20, label=2), 3),
+            ],
+            GreedyAvoidingScheduler(patience=5),
+        )
+        assert result.total_traversals == 40
+
+
+class TestWakeSchedule:
+    def test_wake_decision_emitted_at_threshold(self, ring6):
+        scheduler = RoundRobinScheduler(wake_schedule={"b": 2})
+        result = run(
+            ring6,
+            [
+                AgentSpec(walker("a", [0] * 4), 0),
+                AgentSpec(walker("b", [0] * 4, label=2), 3, dormant=True),
+            ],
+            scheduler,
+        )
+        assert result.traversals_by_agent["b"] == 4
+
+    def test_wake_on_nonexistent_threshold_not_reached(self, ring6):
+        scheduler = RoundRobinScheduler(wake_schedule={"b": 10_000})
+        result = run(
+            ring6,
+            [
+                AgentSpec(walker("a", [0] * 3), 0),
+                AgentSpec(walker("b", [0] * 3, label=2), 3, dormant=True),
+            ],
+            scheduler,
+        )
+        assert result.traversals_by_agent["b"] == 0
+
+
+class TestDecisionValidation:
+    def test_illegal_advance_is_rejected_by_engine(self, ring6):
+        class BadScheduler(Scheduler):
+            def choose(self, view):
+                return Advance("a", Fraction(0))  # not an advance at all
+
+        engine = AsyncEngine(
+            ring6, [AgentSpec(walker("a", [0]), 0)], BadScheduler()
+        )
+        with pytest.raises(SchedulerError):
+            engine.run()
+
+    def test_waking_active_agent_is_rejected(self, ring6):
+        class BadScheduler(Scheduler):
+            def choose(self, view):
+                return Wake("a")
+
+        engine = AsyncEngine(
+            ring6, [AgentSpec(walker("a", [0]), 0)], BadScheduler()
+        )
+        with pytest.raises(SchedulerError):
+            engine.run()
+
+    def test_unknown_decision_type_rejected(self, ring6):
+        class BadScheduler(Scheduler):
+            def choose(self, view):
+                return object()
+
+        engine = AsyncEngine(
+            ring6, [AgentSpec(walker("a", [0]), 0)], BadScheduler()
+        )
+        with pytest.raises(SchedulerError):
+            engine.run()
+
+    def test_complete_helper_builds_full_advance(self):
+        decision = complete("x")
+        assert isinstance(decision, Advance)
+        assert decision.agent == "x" and decision.to == 1

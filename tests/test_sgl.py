@@ -1,0 +1,139 @@
+"""Tests of Algorithm SGL (Strong Global Learning) — Theorem 4.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelError, SimulationError
+from repro.graphs import families
+from repro.sim import RandomScheduler, RoundRobinScheduler
+from repro.teams import (
+    EXPLORER,
+    GHOST,
+    SGLController,
+    TeamMember,
+    TRAVELLER,
+    run_sgl,
+)
+
+# SGL runs drive the full engine and are the slowest tests of the suite; they
+# use the smallest graphs that still exercise every transition.
+pytestmark = pytest.mark.sgl
+
+
+class TestSGLControllerUnit:
+    def test_initial_public_state(self, sim_model):
+        controller = SGLController("sgl-5", 5, model=sim_model, value="v5")
+        assert controller.state == TRAVELLER
+        assert controller.public["state"] == TRAVELLER
+        assert controller.public["bag"] == ((5, "v5"),)
+        assert controller.public["bag_complete"] is False
+        assert controller.output is None
+        assert controller.token_label is None
+
+    def test_rejects_invalid_label(self, sim_model):
+        with pytest.raises(LabelError):
+            SGLController("x", 0, model=sim_model)
+
+
+class TestTwoAgents:
+    def test_pair_learns_both_labels(self, sim_model, ring4):
+        outcome = run_sgl(
+            ring4,
+            [TeamMember(4, 0), TeamMember(9, 2)],
+            model=sim_model,
+            max_traversals=2_000_000,
+        )
+        assert outcome.correct
+        assert outcome.label_sets == {4: (4, 9), 9: (4, 9)}
+        assert outcome.cost > 0
+        assert outcome.cost == outcome.result.cost()
+
+    def test_pair_on_a_path(self, sim_model):
+        graph = families.path(4)
+        outcome = run_sgl(
+            graph,
+            [TeamMember(3, 0), TeamMember(12, 3)],
+            model=sim_model,
+            max_traversals=2_000_000,
+        )
+        assert outcome.correct
+
+    def test_values_travel_with_labels(self, sim_model, ring4):
+        outcome = run_sgl(
+            ring4,
+            [TeamMember(4, 0, value="alpha"), TeamMember(9, 2, value="beta")],
+            model=sim_model,
+            max_traversals=2_000_000,
+        )
+        assert outcome.correct
+        assert outcome.value_maps[4] == {4: "alpha", 9: "beta"}
+        assert outcome.value_maps[9] == {4: "alpha", 9: "beta"}
+
+    def test_smaller_label_becomes_the_explorer(self, sim_model, ring4):
+        # Run manually so the controllers remain inspectable.
+        from repro.sim.engine import AgentSpec, AsyncEngine
+
+        small = SGLController("sgl-4", 4, model=sim_model)
+        big = SGLController("sgl-9", 9, model=sim_model)
+        engine = AsyncEngine(
+            ring4,
+            [AgentSpec(small, 0), AgentSpec(big, 2)],
+            RoundRobinScheduler(),
+            stop_when_all_output=True,
+            max_traversals=2_000_000,
+        )
+        engine.run()
+        assert big.state == GHOST
+        assert small.token_label == 9
+        assert small.output is not None and big.output is not None
+
+
+class TestLargerTeams:
+    def test_three_agents_on_a_ring(self, sim_model):
+        graph = families.ring(5)
+        outcome = run_sgl(
+            graph,
+            [TeamMember(4, 0), TeamMember(9, 2), TeamMember(6, 3)],
+            model=sim_model,
+            max_traversals=4_000_000,
+        )
+        assert outcome.correct
+        assert outcome.expected_labels == (4, 6, 9)
+
+    def test_three_agents_random_scheduler(self, sim_model):
+        graph = families.random_connected(6, 0.4, rng_seed=3)
+        outcome = run_sgl(
+            graph,
+            [TeamMember(12, 0), TeamMember(5, 2), TeamMember(30, 4)],
+            scheduler=RandomScheduler(seed=11),
+            model=sim_model,
+            max_traversals=4_000_000,
+        )
+        assert outcome.correct
+
+    def test_dormant_agent_is_woken_and_learns_everything(self, sim_model):
+        graph = families.ring(5)
+        outcome = run_sgl(
+            graph,
+            [TeamMember(3, 0), TeamMember(8, 2), TeamMember(15, 4, dormant=True)],
+            model=sim_model,
+            max_traversals=4_000_000,
+        )
+        assert outcome.correct
+        assert 15 in outcome.label_sets
+        assert outcome.label_sets[15] == (3, 8, 15)
+
+
+class TestValidation:
+    def test_single_agent_rejected(self, sim_model, ring4):
+        with pytest.raises(LabelError):
+            run_sgl(ring4, [TeamMember(4, 0)], model=sim_model)
+
+    def test_duplicate_labels_rejected(self, sim_model, ring4):
+        with pytest.raises(LabelError):
+            run_sgl(ring4, [TeamMember(4, 0), TeamMember(4, 2)], model=sim_model)
+
+    def test_duplicate_start_nodes_rejected(self, sim_model, ring4):
+        with pytest.raises(SimulationError):
+            run_sgl(ring4, [TeamMember(4, 0), TeamMember(9, 0)], model=sim_model)

@@ -1,0 +1,175 @@
+"""Unit tests of the SGL state-transition rules, driven by hand-built meetings.
+
+These tests exercise the §4 transition table of Algorithm SGL directly on the
+controller (no engine, no graph), so every branch of the rule
+
+* "heard of a smaller label → ghost",
+* "met a non-explorer and heard of nothing smaller → explorer, token = the
+  smallest-labelled non-explorer",
+* "met only explorers → stay a traveller",
+
+is covered deterministically, including the symmetric behaviour of two
+travellers meeting each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.actions import AgentSnapshot, MeetingEvent
+from repro.teams import EXPLORER, GHOST, SGLController, TRAVELLER
+
+
+def snapshot(label: int, state: str, bag=None, bag_complete: bool = False,
+             has_output: bool = False) -> AgentSnapshot:
+    """Build the meeting snapshot of a fictitious SGL agent."""
+    bag = bag if bag is not None else ((label, None),)
+    return AgentSnapshot(
+        name=f"sgl-{label}",
+        label=label,
+        status="active",
+        public={
+            "label": label,
+            "state": state,
+            "bag": tuple(sorted(bag)),
+            "bag_complete": bag_complete,
+            "has_output": has_output,
+        },
+    )
+
+
+def meet(controller: SGLController, *others: AgentSnapshot, node=7) -> MeetingEvent:
+    """Deliver a meeting between ``controller`` and the given snapshots."""
+    own = AgentSnapshot(
+        name=controller.name,
+        label=controller.label,
+        status="active",
+        public=controller.public_snapshot(),
+    )
+    event = MeetingEvent(
+        participants=(own,) + others,
+        node=node,
+        edge=None if node is not None else (0, 1),
+        decision_index=1,
+        total_traversals=1,
+    )
+    controller.on_meeting(event)
+    return event
+
+
+class TestTravellerTransitions:
+    def test_smaller_label_in_a_bag_sends_to_ghost(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(20, TRAVELLER, bag=((4, None), (20, None))))
+        assert agent._pending_transition == GHOST
+
+    def test_meeting_a_smaller_traveller_sends_to_ghost(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(4, TRAVELLER))
+        assert agent._pending_transition == GHOST
+
+    def test_meeting_a_larger_traveller_makes_an_explorer(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(15, TRAVELLER))
+        assert agent._pending_transition == EXPLORER
+        assert agent.token_label == 15
+
+    def test_meeting_a_ghost_makes_an_explorer(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(30, GHOST, bag=((30, None), (44, None))))
+        assert agent._pending_transition == EXPLORER
+        assert agent.token_label == 30
+
+    def test_meeting_only_explorers_keeps_travelling(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(15, EXPLORER), snapshot(22, EXPLORER))
+        assert agent._pending_transition is None
+        assert agent.state == TRAVELLER
+
+    def test_token_is_the_smallest_non_explorer(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(
+            agent,
+            snapshot(40, EXPLORER),
+            snapshot(25, GHOST),
+            snapshot(12, TRAVELLER),
+        )
+        assert agent._pending_transition == EXPLORER
+        assert agent.token_label == 12
+
+    def test_two_travellers_decide_symmetrically(self, sim_model):
+        small = SGLController("sgl-4", 4, model=sim_model)
+        big = SGLController("sgl-9", 9, model=sim_model)
+        meet(small, snapshot(9, TRAVELLER))
+        meet(big, snapshot(4, TRAVELLER))
+        # The smaller label becomes the explorer and adopts the larger as its
+        # token; the larger becomes a ghost (it heard of a smaller label).
+        assert small._pending_transition == EXPLORER and small.token_label == 9
+        assert big._pending_transition == GHOST
+
+    def test_first_decision_is_not_overwritten_by_later_meetings(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(15, TRAVELLER))
+        assert agent._pending_transition == EXPLORER
+        meet(agent, snapshot(2, TRAVELLER))
+        # The transition decided at the first qualifying meeting stands...
+        assert agent._pending_transition == EXPLORER
+        # ...but the bag still grows.
+        assert 2 in agent.bag
+
+
+class TestBagsAndFlags:
+    def test_bags_merge_at_every_meeting(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model, value="mine")
+        meet(agent, snapshot(15, EXPLORER, bag=((15, "x"), (33, "y"))))
+        assert agent.bag.labels() == (9, 15, 33)
+        assert agent.public["bag"] == ((9, "mine"), (15, "x"), (33, "y"))
+
+    def test_complete_flag_makes_a_ghost_output(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(4, TRAVELLER))          # will become a ghost
+        agent._become_ghost()
+        assert agent.output is None
+        meet(agent, snapshot(4, EXPLORER, bag=((4, None), (9, None)), bag_complete=True))
+        assert agent.output == ((4, None), (9, None))
+        assert agent.public["has_output"] is True
+
+    def test_flag_without_ghost_state_does_not_output(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(4, EXPLORER, bag=((4, None), (9, None)), bag_complete=True))
+        # Still a traveller (pending ghost transition): no output yet — the
+        # output happens once it has actually become a ghost.
+        assert agent.output is None
+        assert agent._flagged is True
+
+    def test_token_sightings_are_counted(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(15, TRAVELLER))
+        assert agent.token_label == 15
+        tracker = agent._token_tracker
+        assert tracker.sightings == 0
+        meet(agent, snapshot(15, GHOST))
+        assert tracker.sightings == 1
+        assert tracker.last_was_at_node is True
+        meet(agent, snapshot(15, GHOST), node=None)
+        assert tracker.sightings == 2
+        assert tracker.last_was_at_node is False
+
+    def test_meeting_the_token_with_output_is_remembered(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        meet(agent, snapshot(15, TRAVELLER))
+        assert agent._token_has_output is False
+        meet(agent, snapshot(15, GHOST, has_output=True))
+        assert agent._token_has_output is True
+
+    def test_meetings_with_no_other_participants_are_ignored(self, sim_model):
+        agent = SGLController("sgl-9", 9, model=sim_model)
+        own = AgentSnapshot(
+            name=agent.name, label=9, status="active", public=agent.public_snapshot()
+        )
+        event = MeetingEvent(
+            participants=(own,), node=3, edge=None, decision_index=0, total_traversals=0
+        )
+        agent.on_meeting(event)
+        assert agent._pending_transition is None
+        assert agent.bag.labels() == (9,)

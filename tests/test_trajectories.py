@@ -1,0 +1,192 @@
+"""Tests of the trajectory constructions of §3.1 (Definitions 3.1–3.8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExplorationError
+from repro.exploration.walker import Tape
+from repro.core.trajectories import (
+    TRAJECTORY_KINDS,
+    traj_A,
+    traj_A_prime,
+    traj_B,
+    traj_K,
+    traj_Omega,
+    traj_Q,
+    traj_R,
+    traj_X,
+    traj_Y,
+    traj_Y_prime,
+    traj_Z,
+    trajectory_structure,
+)
+from repro.graphs import families
+
+from .helpers import drive_walk
+
+
+def execute(graph, start, generator, k, model, max_moves=None):
+    """Drive a trajectory generator to completion and return the walk."""
+    tape = Tape()
+
+    def factory(obs):
+        def program(obs):
+            obs = yield from generator(k, model, tape, obs)
+            return obs
+
+        return program(obs)
+
+    return drive_walk(graph, start, factory, max_moves=max_moves)
+
+
+# Trajectories that can be executed end-to-end with the tiny cost model.
+EXECUTABLE = [
+    ("R", traj_R, "len_R"),
+    ("X", traj_X, "len_X"),
+    ("Q", traj_Q, "len_Q"),
+    ("Y'", traj_Y_prime, "len_Y_prime"),
+    ("Y", traj_Y, "len_Y"),
+    ("Z", traj_Z, "len_Z"),
+    ("A'", traj_A_prime, "len_A_prime"),
+    ("A", traj_A, "len_A"),
+]
+
+#: Trajectories that return to their starting node (all except R, Y', A').
+CLOSED = [
+    ("X", traj_X),
+    ("Q", traj_Q),
+    ("Y", traj_Y),
+    ("Z", traj_Z),
+    ("A", traj_A),
+]
+
+
+class TestExecutedLengths:
+    """The executed walks have exactly the lengths the cost model predicts."""
+
+    @pytest.mark.parametrize("kind, generator, length_name", EXECUTABLE)
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_length_matches_cost_model(self, kind, generator, length_name, k, tiny_model, ring6):
+        walk = execute(ring6, 0, generator, k, tiny_model)
+        expected = getattr(tiny_model, length_name)(k)
+        assert walk.length == expected, f"{kind}({k})"
+
+    @pytest.mark.parametrize("kind, generator, length_name", EXECUTABLE)
+    def test_length_is_graph_independent(self, kind, generator, length_name, tiny_model):
+        """The same trajectory traverses the same number of edges in any graph."""
+        lengths = set()
+        for graph in (families.ring(4), families.path(5), families.complete_graph(5)):
+            walk = execute(graph, 0, generator, 2, tiny_model)
+            lengths.add(walk.length)
+        assert len(lengths) == 1
+
+
+class TestAnchoring:
+    """X, Q, Y, Z, A (and B, K, Ω) start and end at the invoking node."""
+
+    @pytest.mark.parametrize("kind, generator", CLOSED)
+    @pytest.mark.parametrize("start", [0, 2, 4])
+    def test_closed_trajectories_return_to_start(self, kind, generator, start, tiny_model, ring6):
+        walk = execute(ring6, start, generator, 2, tiny_model)
+        assert walk.end == start, f"{kind} must return to its anchor"
+
+    def test_x_is_a_palindrome(self, tiny_model, small_er):
+        walk = execute(small_er, 1, traj_X, 3, tiny_model)
+        assert walk.nodes == walk.nodes[::-1]
+
+    def test_y_is_a_palindrome(self, tiny_model, ring6):
+        walk = execute(ring6, 1, traj_Y, 2, tiny_model)
+        assert walk.nodes == walk.nodes[::-1]
+
+    def test_a_is_a_palindrome(self, tiny_model, ring6):
+        walk = execute(ring6, 3, traj_A, 1, tiny_model)
+        assert walk.nodes == walk.nodes[::-1]
+
+
+class TestComposition:
+    def test_q_is_concatenation_of_x(self, tiny_model, ring6):
+        """Q(k, v) visits exactly the concatenation of X(1, v) ... X(k, v)."""
+        k = 3
+        q_walk = execute(ring6, 0, traj_Q, k, tiny_model)
+        expected_nodes = [0]
+        for i in range(1, k + 1):
+            x_walk = execute(ring6, 0, traj_X, i, tiny_model)
+            expected_nodes.extend(x_walk.nodes[1:])
+        assert q_walk.nodes == expected_nodes
+
+    def test_z_is_concatenation_of_y(self, tiny_model, ring6):
+        k = 2
+        z_walk = execute(ring6, 0, traj_Z, k, tiny_model)
+        expected_nodes = [0]
+        for i in range(1, k + 1):
+            y_walk = execute(ring6, 0, traj_Y, i, tiny_model)
+            expected_nodes.extend(y_walk.nodes[1:])
+        assert z_walk.nodes == expected_nodes
+
+    def test_b_prefix_is_repetition_of_y(self, tiny_model, ring6):
+        """The first copies of Y inside B(k, v) are exactly Y(k, v)."""
+        k = 1
+        y_walk = execute(ring6, 0, traj_Y, k, tiny_model)
+        prefix_length = 3 * y_walk.length
+        b_walk = execute(ring6, 0, traj_B, k, tiny_model, max_moves=prefix_length)
+        expected = [0] + (y_walk.nodes[1:] * 3)
+        assert b_walk.nodes[: prefix_length + 1] == expected
+
+    def test_k_prefix_is_repetition_of_x(self, tiny_model, ring6):
+        k = 1
+        x_walk = execute(ring6, 0, traj_X, k, tiny_model)
+        prefix_length = 4 * x_walk.length
+        k_walk = execute(ring6, 0, traj_K, k, tiny_model, max_moves=prefix_length)
+        expected = [0] + (x_walk.nodes[1:] * 4)
+        assert k_walk.nodes[: prefix_length + 1] == expected
+
+    def test_omega_prefix_is_repetition_of_x(self, tiny_model, ring6):
+        k = 1
+        x_walk = execute(ring6, 0, traj_X, k, tiny_model)
+        prefix_length = 2 * x_walk.length
+        omega_walk = execute(ring6, 0, traj_Omega, k, tiny_model, max_moves=prefix_length)
+        expected = [0] + (x_walk.nodes[1:] * 2)
+        assert omega_walk.nodes[: prefix_length + 1] == expected
+
+    def test_integral_x_covers_the_graph(self, sim_model, ring6):
+        """For k >= n with the simulation model, X(k, v) is integral."""
+        walk = execute(ring6, 0, traj_X, ring6.size, sim_model)
+        assert walk.traversed_edges == frozenset(ring6.edges())
+
+
+class TestStructureDescriptors:
+    def test_registry_contains_all_kinds(self):
+        assert set(TRAJECTORY_KINDS) == {
+            "R", "X", "Q", "Y'", "Y", "Z", "A'", "A", "B", "K", "Omega",
+        }
+
+    @pytest.mark.parametrize("kind", sorted(TRAJECTORY_KINDS))
+    def test_structure_length_matches_cost_model(self, kind, sim_model):
+        structure = trajectory_structure(kind, 2, sim_model)
+        assert structure["length"] > 0
+        assert structure["kind"] in (kind, "Omega")
+
+    def test_structure_of_q_lists_all_x(self, sim_model):
+        structure = trajectory_structure("Q", 4, sim_model)
+        assert [component["k"] for component in structure["components"]] == [1, 2, 3, 4]
+        assert structure["length"] == sum(
+            component["length"] for component in structure["components"]
+        )
+
+    def test_structure_of_repetitions_is_consistent(self, sim_model):
+        for kind, repetitions in (
+            ("B", sim_model.repetitions_B(2)),
+            ("K", sim_model.repetitions_K(2)),
+            ("Omega", sim_model.repetitions_Omega(2)),
+        ):
+            structure = trajectory_structure(kind, 2, sim_model)
+            inner = structure["components"][0]
+            assert inner["repetitions"] == repetitions
+            assert structure["length"] == inner["repetitions"] * inner["length"]
+
+    def test_unknown_kind_rejected(self, sim_model):
+        with pytest.raises(ExplorationError):
+            trajectory_structure("W", 2, sim_model)
+        with pytest.raises(ExplorationError):
+            trajectory_structure("X", 0, sim_model)

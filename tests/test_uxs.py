@@ -1,0 +1,127 @@
+"""Tests of the exploration sequences and the walk ``R(k, v)``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExplorationError
+from repro.exploration.uxs import (
+    ExplicitUXS,
+    PseudoRandomUXS,
+    first_covering_prefix,
+    is_integral,
+    next_port,
+    walk_trajectory,
+)
+from repro.graphs import families
+
+
+class TestNextPort:
+    def test_basic_rule(self):
+        assert next_port(1, 3, 4) == 0
+        assert next_port(0, 0, 3) == 0
+        assert next_port(2, 7, 5) == 4
+
+    def test_none_entry_acts_as_zero(self):
+        assert next_port(None, 5, 4) == 1
+
+    def test_zero_degree_rejected(self):
+        with pytest.raises(ExplorationError):
+            next_port(0, 1, 0)
+
+
+class TestPseudoRandomUXS:
+    def test_length_polynomial(self):
+        provider = PseudoRandomUXS(length_coefficient=3, length_exponent=2, length_offset=5)
+        assert provider.length(1) == 8
+        assert provider.length(4) == 53
+
+    def test_terms_have_declared_length(self):
+        provider = PseudoRandomUXS()
+        for k in (1, 2, 5, 9):
+            assert len(provider.terms(k)) == provider.length(k)
+
+    def test_terms_are_deterministic_and_cached(self):
+        provider = PseudoRandomUXS(seed=11)
+        again = PseudoRandomUXS(seed=11)
+        assert provider.terms(6) == again.terms(6)
+        assert provider.terms(6) is provider.terms(6)  # cache returns same tuple
+
+    def test_different_seeds_differ(self):
+        assert PseudoRandomUXS(seed=1).terms(6) != PseudoRandomUXS(seed=2).terms(6)
+
+    def test_terms_are_non_negative(self):
+        provider = PseudoRandomUXS()
+        assert all(x >= 0 for x in provider.terms(7))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ExplorationError):
+            PseudoRandomUXS(length_coefficient=0)
+        provider = PseudoRandomUXS()
+        with pytest.raises(ExplorationError):
+            provider.length(0)
+
+    def test_describe_mentions_polynomial(self):
+        assert "P(k)" in PseudoRandomUXS().describe()
+
+
+class TestExplicitUXS:
+    def test_returns_stored_sequences(self):
+        provider = ExplicitUXS({2: [1, 0, 1]})
+        assert provider.terms(2) == (1, 0, 1)
+        assert provider.length(2) == 3
+
+    def test_missing_parameter(self):
+        provider = ExplicitUXS({2: [1]})
+        with pytest.raises(ExplorationError):
+            provider.terms(3)
+
+
+class TestWalks:
+    def test_walk_records_consistent_trajectory(self, ring6):
+        provider = PseudoRandomUXS()
+        result = walk_trajectory(ring6, 0, provider.terms(6))
+        assert result.nodes[0] == 0
+        assert result.length == provider.length(6)
+        assert len(result.nodes) == result.length + 1
+        # Every consecutive pair really is an edge of the graph.
+        for a, b in zip(result.nodes, result.nodes[1:]):
+            assert ring6.has_edge(a, b)
+        # Entry ports let you walk back: spot-check the first step.
+        first_target = result.nodes[1]
+        assert ring6.succ(first_target, result.entry_ports[0]) == 0
+
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: families.ring(8),
+            lambda: families.path(8),
+            lambda: families.complete_graph(6),
+            lambda: families.lollipop(4, 4),
+            lambda: families.random_connected(8, 0.3, rng_seed=3),
+            lambda: families.binary_tree(7),
+        ],
+    )
+    def test_simulation_model_sequences_are_integral(self, graph_builder, sim_model):
+        """R(n, v) covers every edge on the families/sizes used in experiments."""
+        graph = graph_builder()
+        for start in (0, graph.size // 2):
+            assert is_integral(graph, start, sim_model.uxs_terms(graph.size))
+            assert is_integral(graph, start, sim_model.uxs_terms(2 * graph.size))
+
+    def test_first_covering_prefix(self, ring6, sim_model):
+        terms = sim_model.uxs_terms(6)
+        prefix = first_covering_prefix(ring6, 0, terms)
+        assert prefix is not None
+        assert prefix <= len(terms)
+        # The prefix really covers, one step less does not.
+        assert is_integral(ring6, 0, terms[:prefix])
+        assert not is_integral(ring6, 0, terms[: prefix - 1])
+
+    def test_first_covering_prefix_can_fail(self, ring6):
+        assert first_covering_prefix(ring6, 0, [0, 0]) is None
+
+    def test_walk_respects_initial_entry_port(self, ring6):
+        with_zero = walk_trajectory(ring6, 0, [0, 0, 0], initial_entry_port=None)
+        with_one = walk_trajectory(ring6, 0, [0, 0, 0], initial_entry_port=1)
+        assert with_zero.nodes != with_one.nodes

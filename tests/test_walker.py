@@ -1,0 +1,122 @@
+"""Tests of the generator walk primitives (tape, step, backtrack)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exploration.uxs import walk_trajectory
+from repro.exploration.walker import Tape, backtrack, follow_exploration, step
+from repro.graphs import families
+
+from .helpers import drive_walk
+
+
+class TestTape:
+    def test_mark_and_slice(self):
+        tape = Tape()
+        assert len(tape) == 0
+        tape.entry_ports.extend([1, 0, 1])
+        mark = tape.mark()
+        tape.entry_ports.extend([0, 0])
+        assert mark == 3
+        assert list(tape.slice_since(mark)) == [0, 0]
+        assert len(tape) == 5
+
+
+class TestStepAndBacktrack:
+    def test_step_records_entry_port(self, ring6):
+        tape = Tape()
+
+        def factory(obs):
+            def program(obs):
+                obs = yield from step(tape, 0)
+                obs = yield from step(tape, 1)
+                return obs
+
+            return program(obs)
+
+        walk = drive_walk(ring6, 0, factory)
+        assert walk.length == 2
+        assert tape.entry_ports == walk.entry_ports
+
+    def test_backtrack_returns_to_start(self, small_er, sim_model):
+        """Following any exploration walk and backtracking ends at the start."""
+        tape = Tape()
+
+        def factory(obs):
+            def program(obs):
+                mark = tape.mark()
+                obs = yield from follow_exploration(tape, sim_model.uxs_terms(4), obs)
+                obs = yield from backtrack(tape, mark, obs)
+                return obs
+
+            return program(obs)
+
+        walk = drive_walk(small_er, 0, factory)
+        assert walk.end == 0
+        assert walk.length == 2 * sim_model.P(4)
+        # The second half of the node sequence is the mirror of the first half.
+        forward = walk.nodes[: sim_model.P(4) + 1]
+        backward = walk.nodes[sim_model.P(4):]
+        assert backward == list(reversed(forward))
+
+    def test_nested_backtracks_compose(self, ring6, sim_model):
+        """Backtracking a stretch that itself contains a backtrack retraces it all."""
+        tape = Tape()
+        terms = sim_model.uxs_terms(2)
+
+        def factory(obs):
+            def program(obs):
+                outer = tape.mark()
+                obs = yield from follow_exploration(tape, terms, obs)
+                inner = tape.mark()
+                obs = yield from follow_exploration(tape, terms, obs)
+                obs = yield from backtrack(tape, inner, obs)
+                obs = yield from backtrack(tape, outer, obs)
+                return obs
+
+            return program(obs)
+
+        walk = drive_walk(ring6, 2, factory)
+        assert walk.end == 2
+        assert walk.nodes == walk.nodes[::-1]  # the full walk is a palindrome
+
+    def test_follow_exploration_matches_simulator_walk(self, small_er, sim_model):
+        """Agent-side walk == simulator-side walk for the same sequence."""
+        terms = sim_model.uxs_terms(small_er.size)
+        reference = walk_trajectory(small_er, 3, terms)
+        tape = Tape()
+
+        def factory(obs):
+            def program(obs):
+                obs = yield from follow_exploration(tape, terms, obs)
+                return obs
+
+            return program(obs)
+
+        walk = drive_walk(small_er, 3, factory)
+        assert walk.nodes == list(reference.nodes)
+        assert walk.ports == list(reference.ports)
+
+    @given(start=st.integers(min_value=0, max_value=6), k=st.integers(min_value=1, max_value=4))
+    def test_backtrack_property_on_random_walks(self, start, k):
+        """Property: follow-then-backtrack is a closed palindrome from any start."""
+        from repro.exploration.cost_model import SimulationCostModel
+
+        graph = families.random_connected(7, 0.35, rng_seed=9)
+        model = SimulationCostModel()
+        tape = Tape()
+
+        def factory(obs):
+            def program(obs):
+                mark = tape.mark()
+                obs = yield from follow_exploration(tape, model.uxs_terms(k), obs)
+                obs = yield from backtrack(tape, mark, obs)
+                return obs
+
+            return program(obs)
+
+        walk = drive_walk(graph, start, factory)
+        assert walk.end == start
+        assert walk.nodes == walk.nodes[::-1]
