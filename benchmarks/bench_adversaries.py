@@ -5,39 +5,61 @@ benchmark measures the cost-to-meeting of Algorithm RV-asynch-poly under the
 engine's adversary family — fair round-robin, random interleaving, two
 starvation strategies and the greedy meeting-avoiding adversary with a sweep
 of its patience parameter — on a ring and on a random graph.
+
+The scheduler/patience pairs are not a rectangular grid, so the benchmark
+enumerates explicit :class:`~repro.runtime.spec.ScenarioSpec` cells and
+hands them to :func:`~repro.runtime.executors.run_sweep` — the runtime
+accepts any iterable of scenarios.
 """
 
 from __future__ import annotations
 
-from repro.analysis import experiments
+from repro.runtime import ScenarioSpec
+from repro.runtime.executors import run_sweep
 
 from ._harness import emit, run_once
 
 
+def ablation_cells(family, n, patiences, seed=0):
+    """One rendezvous cell per adversary (the avoider sweeps its patience)."""
+    pairs = [("round_robin", 1), ("random", 1), ("lazy", 1), ("delay_until_stop", 1)]
+    pairs += [("avoider", patience) for patience in patiences]
+    return [
+        ScenarioSpec(
+            problem="rendezvous",
+            family=family,
+            size=n,
+            seed=seed,
+            labels=(6, 11),
+            scheduler=scheduler,
+            scheduler_params={"patience": patience},
+            max_traversals=1_000_000,
+            name="e5-adversary-ablation",
+        )
+        for scheduler, patience in pairs
+    ]
+
+
+#: Table columns: ``patience`` resolves through the spec's scheduler
+#: parameters, so the avoider's sweep stays visible in the artifact.
+FIELDS = ("scheduler", "patience", "family", "n", "ok", "cost", "decisions")
+
+
 def test_adversary_ablation_ring(benchmark, sim_model):
-    records = run_once(
-        benchmark,
-        experiments.adversary_ablation,
-        family="ring",
-        n=10,
-        patiences=(4, 16, 64, 256),
-        model=sim_model,
-        max_traversals=1_000_000,
+    cells = ablation_cells("ring", 10, patiences=(4, 16, 64, 256))
+    result = run_once(benchmark, run_sweep, cells, model=sim_model)
+    emit(
+        "e5_adversaries_ring",
+        result.table(FIELDS, title="E5: adversary ablation (RV-asynch-poly, ring)"),
     )
-    emit("e5_adversaries_ring", experiments.adversary_ablation_table(records))
-    assert all(record.met for record in records)
+    assert result.all_ok
 
 
 def test_adversary_ablation_random_graph(benchmark, sim_model):
-    records = run_once(
-        benchmark,
-        experiments.adversary_ablation,
-        family="erdos_renyi",
-        n=10,
-        patiences=(16, 64),
-        model=sim_model,
-        max_traversals=1_000_000,
-        seed=3,
+    cells = ablation_cells("erdos_renyi", 10, patiences=(16, 64), seed=3)
+    result = run_once(benchmark, run_sweep, cells, model=sim_model)
+    emit(
+        "e5_adversaries_random_graph",
+        result.table(FIELDS, title="E5: adversary ablation (RV-asynch-poly, random graph)"),
     )
-    emit("e5_adversaries_random_graph", experiments.adversary_ablation_table(records))
-    assert all(record.met for record in records)
+    assert result.all_ok

@@ -3,27 +3,37 @@
 Runs Algorithm RV-asynch-poly and the exponential baseline on rings and
 random graphs of increasing size, under a fair and an adversarial scheduler,
 and prints the measured cost-to-meeting table.
+
+The benchmark drives the scenario runtime directly: it declares the grid as
+a :class:`~repro.runtime.spec.SweepSpec` and executes it with
+:func:`~repro.runtime.executors.run_sweep`, which is exactly what the
+experiment driver and the ``repro sweep`` CLI do.
 """
 
 from __future__ import annotations
 
-from repro.analysis import experiments
+from repro.runtime import SweepSpec
+from repro.runtime.executors import run_sweep
 
 from ._harness import emit, run_once
 
+SWEEP = SweepSpec(
+    problems=("rendezvous", "baseline"),
+    families=("ring", "erdos_renyi"),
+    sizes=(4, 6, 8, 10, 12, 16),
+    schedulers=("round_robin", "avoider"),
+    label_sets=((6, 11),),
+    max_traversals=1_000_000,
+    name="e1-rendezvous-vs-size",
+)
+
 
 def test_rendezvous_vs_size(benchmark, sim_model):
-    records = run_once(
-        benchmark,
-        experiments.rendezvous_vs_size,
-        sizes=(4, 6, 8, 10, 12, 16),
-        family_names=("ring", "erdos_renyi"),
-        scheduler_names=("round_robin", "avoider"),
-        algorithms=("rv_asynch_poly", "baseline"),
-        model=sim_model,
-        max_traversals=1_000_000,
+    result = run_once(benchmark, run_sweep, SWEEP, model=sim_model)
+    emit(
+        "e1_rendezvous_vs_size",
+        result.table(title="E1: measured rendezvous cost vs graph size"),
     )
-    emit("e1_rendezvous_vs_size", experiments.rendezvous_vs_size_table(records))
-    assert all(record.met for record in records)
-    rv_costs = [r.cost for r in records if r.algorithm == "rv_asynch_poly"]
-    assert max(rv_costs) <= 1_000_000
+    assert result.all_ok
+    rv = result.filter(problem="rendezvous")
+    assert rv.max_cost() <= 1_000_000

@@ -14,7 +14,10 @@ Pelc, Villain, PODC 2013) describes or depends on:
 * :mod:`repro.teams` — Algorithm SGL and the four multi-agent applications
   (team size, leader election, perfect renaming, gossiping);
 * :mod:`repro.analysis` — the experiment drivers regenerating the paper's
-  figures and the derived tables of EXPERIMENTS.md.
+  figures and the derived tables of EXPERIMENTS.md;
+* :mod:`repro.runtime` — the unified scenario runtime: declarative
+  JSON-round-trippable specs, component registries, and batched
+  (serial or multi-process) sweep execution.
 
 Quickstart
 ----------
@@ -25,7 +28,7 @@ Quickstart
 True
 """
 
-from . import graphs, exploration, core, sim, teams, analysis
+from . import graphs, exploration, core, sim, teams, analysis, runtime
 
 __version__ = "1.0.0"
 
@@ -36,5 +39,6 @@ __all__ = [
     "sim",
     "teams",
     "analysis",
+    "runtime",
     "__version__",
 ]

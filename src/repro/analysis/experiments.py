@@ -8,37 +8,30 @@ drivers and print their tables.
 
 Every driver returns a list of small record dataclasses so that tests can
 assert on the numbers and benchmarks can both time the run and show the
-table.
+table.  Since the scenario-runtime migration the simulation-backed drivers
+(E1, E2, E4, E5, E6) are thin adapters: each builds a
+:class:`~repro.runtime.spec.SweepSpec` grid (or an explicit cell list when
+the sweep is not rectangular), executes it through
+:func:`~repro.runtime.executors.run_sweep`, and converts the uniform
+:class:`~repro.runtime.records.RunRecord` stream into its historical record
+dataclass.  Cell enumeration mirrors the original loop nests, so tables are
+reproduced bit for bit for the same seeds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..core.baseline import run_baseline_rendezvous
 from ..core.bounds import compare_bounds
-from ..core.rendezvous import run_rendezvous
 from ..core.trajectories import trajectory_structure
 from ..exceptions import ReproError
-from ..exploration.cost_model import (
-    CostModel,
-    PaperCostModel,
-    SimulationCostModel,
-    default_cost_model,
-)
-from ..exploration.esst import run_esst
+from ..exploration.cost_model import CostModel, PaperCostModel, default_cost_model
 from ..graphs.families import named_family
-from ..sim.position import Position
-from ..sim.results import StopReason
-from ..sim.schedulers import (
-    GreedyAvoidingScheduler,
-    LazyScheduler,
-    RandomScheduler,
-    RoundRobinScheduler,
-    Scheduler,
-)
-from ..teams.problems import TeamMember, run_sgl
+from ..runtime import ScenarioSpec, SweepSpec, run_sweep
+from ..runtime.executors import Executor
+from ..runtime.registry import SCHEDULERS
+from ..sim.schedulers import Scheduler
 from .fitting import classify_growth, fit_power_law
 from .tables import format_records
 
@@ -70,24 +63,39 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
-# scheduler registry (shared by experiments, CLI and benchmarks)
+# scheduler names (aliases of the runtime's scheduler registry)
 # ----------------------------------------------------------------------
-SCHEDULER_NAMES = ("round_robin", "random", "lazy", "delay_until_stop", "avoider")
+#: Names of the adversaries used throughout the experiments, in registration
+#: order.  The registry in :mod:`repro.runtime.registry` is the single source
+#: of truth; this tuple survives for backwards compatibility.
+SCHEDULER_NAMES = tuple(SCHEDULERS.names())
 
 
 def make_scheduler(name: str, *, seed: int = 0, patience: int = 64, starved: str = "agent-2") -> Scheduler:
-    """Build one of the named adversaries used throughout the experiments."""
-    if name == "round_robin":
-        return RoundRobinScheduler()
-    if name == "random":
-        return RandomScheduler(seed=seed)
-    if name == "lazy":
-        return LazyScheduler(starved, release_after=64)
-    if name == "delay_until_stop":
-        return LazyScheduler(starved, release_after=None)
-    if name == "avoider":
-        return GreedyAvoidingScheduler(patience=patience)
-    raise ReproError(f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}")
+    """Build one of the named adversaries used throughout the experiments.
+
+    Thin wrapper over ``SCHEDULERS.create`` kept for backwards compatibility;
+    unknown parameters are ignored by the factories that do not use them.
+    """
+    return SCHEDULERS.create(name, seed=seed, patience=patience, starved=starved)
+
+
+#: Mapping between the experiment suite's algorithm names and the runtime's
+#: problem kinds (the tables say "rv_asynch_poly", the registry "rendezvous").
+_PROBLEM_OF_ALGORITHM = {"rv_asynch_poly": "rendezvous", "baseline": "baseline"}
+_ALGORITHM_OF_PROBLEM = {problem: name for name, problem in _PROBLEM_OF_ALGORITHM.items()}
+
+
+def _problems_for(algorithms: Sequence[str]) -> Tuple[str, ...]:
+    problems = []
+    for algorithm in algorithms:
+        if algorithm not in _PROBLEM_OF_ALGORITHM:
+            raise ReproError(
+                f"unknown algorithm {algorithm!r}; "
+                f"available: {sorted(_PROBLEM_OF_ALGORITHM)}"
+            )
+        problems.append(_PROBLEM_OF_ALGORITHM[algorithm])
+    return tuple(problems)
 
 
 # ----------------------------------------------------------------------
@@ -177,51 +185,34 @@ def rendezvous_vs_size(
     model: Optional[CostModel] = None,
     max_traversals: int = 2_000_000,
     seed: int = 0,
+    executor: Optional[Executor] = None,
 ) -> List[RendezvousScalingRecord]:
     """Measure cost-to-meeting versus graph size (Theorem 3.1, experiment E1)."""
     model = model if model is not None else default_cost_model()
-    records: List[RendezvousScalingRecord] = []
-    for family in family_names:
-        for n in sizes:
-            graph = named_family(family, n, rng_seed=seed)
-            start_a = 0
-            start_b = graph.size // 2
-            for scheduler_name in scheduler_names:
-                for algorithm in algorithms:
-                    scheduler = make_scheduler(scheduler_name, seed=seed)
-                    if algorithm == "rv_asynch_poly":
-                        result = run_rendezvous(
-                            graph,
-                            [(labels[0], start_a), (labels[1], start_b)],
-                            scheduler=scheduler,
-                            model=model,
-                            max_traversals=max_traversals,
-                            on_cost_limit="return",
-                        )
-                    elif algorithm == "baseline":
-                        result = run_baseline_rendezvous(
-                            graph,
-                            [(labels[0], start_a), (labels[1], start_b)],
-                            scheduler=scheduler,
-                            model=model,
-                            max_traversals=max_traversals,
-                            on_cost_limit="return",
-                        )
-                    else:
-                        raise ReproError(f"unknown algorithm {algorithm!r}")
-                    records.append(
-                        RendezvousScalingRecord(
-                            family=family,
-                            n=graph.size,
-                            algorithm=algorithm,
-                            scheduler=scheduler_name,
-                            labels=labels,
-                            met=result.met,
-                            cost=result.cost(),
-                            decisions=result.decisions,
-                        )
-                    )
-    return records
+    sweep = SweepSpec(
+        problems=_problems_for(algorithms),
+        families=tuple(family_names),
+        sizes=tuple(sizes),
+        seeds=(seed,),
+        schedulers=tuple(scheduler_names),
+        label_sets=(tuple(labels),),
+        max_traversals=max_traversals,
+        name="e1-rendezvous-vs-size",
+    )
+    result = run_sweep(sweep, executor=executor, model=model)
+    return [
+        RendezvousScalingRecord(
+            family=record.family,
+            n=record.graph_size,
+            algorithm=_ALGORITHM_OF_PROBLEM[record.problem],
+            scheduler=record.scheduler,
+            labels=labels,
+            met=record.ok,
+            cost=record.cost,
+            decisions=record.decisions,
+        )
+        for record in result
+    ]
 
 
 def rendezvous_vs_size_table(records: Iterable[RendezvousScalingRecord]) -> str:
@@ -257,6 +248,7 @@ def rendezvous_vs_label(
     model: Optional[CostModel] = None,
     bound_model: Optional[CostModel] = None,
     max_traversals: int = 2_000_000,
+    executor: Optional[Executor] = None,
 ) -> List[LabelScalingRecord]:
     """Measure and bound cost as a function of the (smaller) label (experiment E2).
 
@@ -267,43 +259,33 @@ def rendezvous_vs_label(
     """
     model = model if model is not None else default_cost_model()
     bound_model = bound_model if bound_model is not None else model
-    graph = named_family(family, n)
+    sweep = SweepSpec(
+        problems=("rendezvous", "baseline"),
+        families=(family,),
+        sizes=(n,),
+        schedulers=(scheduler_name,),
+        label_sets=tuple((label, label + big_label_offset) for label in small_labels),
+        max_traversals=max_traversals,
+        name="e2-rendezvous-vs-label",
+    )
+    result = run_sweep(sweep, executor=executor, model=model)
     records: List[LabelScalingRecord] = []
-    for label in small_labels:
-        other = label + big_label_offset
-        placements = [(label, 0), (other, graph.size // 2)]
-        for algorithm in ("rv_asynch_poly", "baseline"):
-            scheduler = make_scheduler(scheduler_name)
-            if algorithm == "rv_asynch_poly":
-                result = run_rendezvous(
-                    graph,
-                    placements,
-                    scheduler=scheduler,
-                    model=model,
-                    max_traversals=max_traversals,
-                    on_cost_limit="return",
-                )
-                bound = bound_model.pi_bound(graph.size, label.bit_length())
-            else:
-                result = run_baseline_rendezvous(
-                    graph,
-                    placements,
-                    scheduler=scheduler,
-                    model=model,
-                    max_traversals=max_traversals,
-                    on_cost_limit="return",
-                )
-                bound = bound_model.baseline_trajectory_length(graph.size, label)
-            records.append(
-                LabelScalingRecord(
-                    label_small=label,
-                    label_length=label.bit_length(),
-                    algorithm=algorithm,
-                    measured_cost=result.cost(),
-                    met=result.met,
-                    guaranteed_bound=bound,
-                )
+    for record in result:
+        label = record.spec.labels[0]
+        if record.problem == "rendezvous":
+            bound = bound_model.pi_bound(record.graph_size, label.bit_length())
+        else:
+            bound = bound_model.baseline_trajectory_length(record.graph_size, label)
+        records.append(
+            LabelScalingRecord(
+                label_small=label,
+                label_length=label.bit_length(),
+                algorithm=_ALGORITHM_OF_PROBLEM[record.problem],
+                measured_cost=record.cost,
+                met=record.ok,
+                guaranteed_bound=bound,
             )
+        )
     return records
 
 
@@ -417,28 +399,30 @@ def esst_scaling(
     family_names: Sequence[str] = ("ring", "path", "erdos_renyi"),
     model: Optional[CostModel] = None,
     seed: int = 0,
+    executor: Optional[Executor] = None,
 ) -> List[ESSTRecord]:
     """Measure Procedure ESST cost and termination phase versus graph size (E4)."""
     model = model if model is not None else default_cost_model()
-    records: List[ESSTRecord] = []
-    for family in family_names:
-        for n in sizes:
-            graph = named_family(family, n, rng_seed=seed)
-            token_node = max(graph.nodes())
-            start = 0 if token_node != 0 else 1
-            result = run_esst(graph, start, Position.at_node(token_node), model)
-            records.append(
-                ESSTRecord(
-                    family=family,
-                    n=graph.size,
-                    edges=graph.num_edges,
-                    final_phase=result.final_phase,
-                    phase_bound=9 * graph.size + 3,
-                    cost=result.traversals,
-                    all_edges_traversed=result.all_edges_traversed,
-                )
-            )
-    return records
+    sweep = SweepSpec(
+        problems=("esst",),
+        families=tuple(family_names),
+        sizes=tuple(sizes),
+        seeds=(seed,),
+        name="e4-esst-scaling",
+    )
+    result = run_sweep(sweep, executor=executor, model=model)
+    return [
+        ESSTRecord(
+            family=record.family,
+            n=record.graph_size,
+            edges=record.graph_edges,
+            final_phase=record.extra_dict["final_phase"],
+            phase_bound=record.extra_dict["phase_bound"],
+            cost=record.cost,
+            all_edges_traversed=record.ok,
+        )
+        for record in result
+    ]
 
 
 def esst_scaling_table(records: Iterable[ESSTRecord]) -> str:
@@ -474,36 +458,44 @@ def adversary_ablation(
     model: Optional[CostModel] = None,
     max_traversals: int = 2_000_000,
     seed: int = 0,
+    executor: Optional[Executor] = None,
 ) -> List[AdversaryRecord]:
-    """Compare adversaries, including a patience sweep for the avoiding one (E5)."""
+    """Compare adversaries, including a patience sweep for the avoiding one (E5).
+
+    The scheduler/patience pairs are not a rectangular grid (only the avoider
+    sweeps its patience), so this driver enumerates explicit scenario cells
+    instead of a :class:`SweepSpec`.
+    """
     model = model if model is not None else default_cost_model()
-    graph = named_family(family, n, rng_seed=seed)
-    placements = [(labels[0], 0), (labels[1], graph.size // 2)]
-    records: List[AdversaryRecord] = []
-    basic = [("round_robin", 0), ("random", 0), ("lazy", 0), ("delay_until_stop", 0)]
-    sweeps = [("avoider", patience) for patience in patiences]
-    for scheduler_name, patience in basic + sweeps:
-        scheduler = make_scheduler(scheduler_name, seed=seed, patience=max(patience, 1))
-        result = run_rendezvous(
-            graph,
-            placements,
-            scheduler=scheduler,
-            model=model,
+    pairs = [("round_robin", 0), ("random", 0), ("lazy", 0), ("delay_until_stop", 0)]
+    pairs += [("avoider", patience) for patience in patiences]
+    cells = [
+        ScenarioSpec(
+            problem="rendezvous",
+            family=family,
+            size=n,
+            seed=seed,
+            labels=tuple(labels),
+            scheduler=scheduler_name,
+            scheduler_params={"patience": max(patience, 1)},
             max_traversals=max_traversals,
-            on_cost_limit="return",
+            name="e5-adversary-ablation",
         )
-        records.append(
-            AdversaryRecord(
-                scheduler=scheduler_name,
-                patience=patience,
-                family=family,
-                n=graph.size,
-                met=result.met,
-                cost=result.cost(),
-                decisions=result.decisions,
-            )
+        for scheduler_name, patience in pairs
+    ]
+    result = run_sweep(cells, executor=executor, model=model)
+    return [
+        AdversaryRecord(
+            scheduler=scheduler_name,
+            patience=patience,
+            family=family,
+            n=record.graph_size,
+            met=record.ok,
+            cost=record.cost,
+            decisions=record.decisions,
         )
-    return records
+        for (scheduler_name, patience), record in zip(pairs, result)
+    ]
 
 
 def adversary_ablation_table(records: Iterable[AdversaryRecord]) -> str:
@@ -539,41 +531,45 @@ def team_scaling(
     model: Optional[CostModel] = None,
     max_traversals: int = 6_000_000,
     seed: int = 0,
+    executor: Optional[Executor] = None,
 ) -> List[TeamRecord]:
-    """Measure Algorithm SGL (hence all four §4 problems) versus n and k (E6)."""
+    """Measure Algorithm SGL (hence all four §4 problems) versus n and k (E6).
+
+    Enumerates explicit cells (not a rectangular grid) because team sizes
+    that exceed the actual graph size are skipped.
+    """
     model = model if model is not None else default_cost_model()
-    records: List[TeamRecord] = []
+    cells: List[ScenarioSpec] = []
     for n in sizes:
-        graph = named_family(family, n, rng_seed=seed)
-        nodes = sorted(graph.nodes())
+        graph_size = named_family(family, n, rng_seed=seed).size
         for k in team_sizes:
-            if k > graph.size:
+            if k > graph_size:
                 continue
-            members = [
-                TeamMember(label=3 + 2 * index, start_node=nodes[(index * graph.size) // k])
-                for index in range(k)
-            ]
-            scheduler = make_scheduler(scheduler_name, seed=seed)
-            outcome = run_sgl(
-                graph,
-                members,
-                scheduler=scheduler,
-                model=model,
-                max_traversals=max_traversals,
-                on_cost_limit="return",
-            )
-            records.append(
-                TeamRecord(
+            cells.append(
+                ScenarioSpec(
+                    problem="teams",
                     family=family,
-                    n=graph.size,
+                    size=n,
+                    seed=seed,
                     team_size=k,
                     scheduler=scheduler_name,
-                    correct=outcome.correct,
-                    cost=outcome.cost,
-                    reason=outcome.result.reason,
+                    max_traversals=max_traversals,
+                    name="e6-team-scaling",
                 )
             )
-    return records
+    result = run_sweep(cells, executor=executor, model=model)
+    return [
+        TeamRecord(
+            family=record.family,
+            n=record.graph_size,
+            team_size=record.spec.team_size,
+            scheduler=record.scheduler,
+            correct=record.ok,
+            cost=record.cost,
+            reason=record.reason,
+        )
+        for record in result
+    ]
 
 
 def team_scaling_table(records: Iterable[TeamRecord]) -> str:

@@ -1,10 +1,26 @@
-"""Command-line interface: run the algorithms and the experiment suite.
+"""Command-line interface: run scenarios and sweeps through the runtime.
+
+Every subcommand builds a declarative
+:class:`~repro.runtime.spec.ScenarioSpec` (or
+:class:`~repro.runtime.spec.SweepSpec`) and executes it through the unified
+scenario runtime — the same facade the experiment drivers, benchmarks and
+examples use.
 
 Examples
 --------
 Run a single rendezvous on an 8-node ring under the avoiding adversary::
 
     repro rendezvous --family ring --size 8 --labels 6 11 --scheduler avoider
+
+Run a scenario stored as JSON, or write one out without running it::
+
+    repro run --spec scenario.json
+    repro rendezvous --size 8 --dump-spec scenario.json
+
+Sweep a grid of scenarios over two worker processes::
+
+    repro sweep --family ring --sizes 4 8 12 --schedulers round_robin avoider \
+        --seeds 3 --jobs 2
 
 Run Procedure ESST on a random graph::
 
@@ -23,18 +39,23 @@ Regenerate an experiment table::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
 from .analysis import experiments
-from .analysis.tables import format_records
-from .core.baseline import run_baseline_rendezvous
-from .core.rendezvous import run_rendezvous
-from .exploration.cost_model import SimulationCostModel
-from .exploration.esst import run_esst
-from .graphs.families import FAMILY_BUILDERS, named_family
-from .sim.position import Position
-from .teams.problems import TeamMember, run_sgl
+from .exceptions import ReproError
+from .runtime import (
+    GRAPH_FAMILIES,
+    PROBLEMS,
+    SCHEDULERS,
+    RunRecord,
+    ScenarioSpec,
+    SweepSpec,
+)
+from .runtime.executors import make_executor, run_sweep
+from .runtime.runner import run
 
 __all__ = ["main", "build_parser"]
 
@@ -54,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--family",
             default="ring",
-            choices=sorted(FAMILY_BUILDERS),
+            choices=sorted(GRAPH_FAMILIES),
             help="graph family (default: ring)",
         )
         sub.add_argument("--size", type=int, default=6, help="graph size (default: 6)")
@@ -64,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=2_000_000,
             help="total edge-traversal budget (default: 2,000,000)",
+        )
+        sub.add_argument(
+            "--dump-spec",
+            metavar="FILE",
+            default=None,
+            help="write the scenario spec as JSON to FILE instead of running it",
         )
 
     rendezvous = subparsers.add_parser(
@@ -76,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     rendezvous.add_argument(
         "--scheduler",
         default="round_robin",
-        choices=experiments.SCHEDULER_NAMES,
+        choices=sorted(SCHEDULERS),
         help="adversary strategy (default: round_robin)",
     )
     rendezvous.add_argument(
@@ -104,8 +131,80 @@ def build_parser() -> argparse.ArgumentParser:
     teams.add_argument(
         "--scheduler",
         default="round_robin",
-        choices=experiments.SCHEDULER_NAMES,
+        choices=sorted(SCHEDULERS),
         help="adversary strategy (default: round_robin)",
+    )
+
+    run_cmd = subparsers.add_parser(
+        "run", help="run one scenario described by a JSON ScenarioSpec file"
+    )
+    run_cmd.add_argument(
+        "--spec", required=True, metavar="FILE", help="path to the ScenarioSpec JSON"
+    )
+    run_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full RunRecord as JSON instead of a summary",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a grid of scenarios (sizes x schedulers x seeds x ...)"
+    )
+    sweep.add_argument(
+        "--spec", default=None, metavar="FILE", help="path to a SweepSpec JSON (overrides the grid flags)"
+    )
+    sweep.add_argument(
+        "--problem",
+        default="rendezvous",
+        choices=sorted(PROBLEMS),
+        help="problem kind run at every grid cell (default: rendezvous)",
+    )
+    sweep.add_argument(
+        "--family",
+        nargs="+",
+        default=["ring"],
+        choices=sorted(GRAPH_FAMILIES),
+        help="graph families (default: ring)",
+    )
+    sweep.add_argument(
+        "--sizes", type=int, nargs="+", default=[6], help="graph sizes (default: 6)"
+    )
+    sweep.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=["round_robin"],
+        choices=sorted(SCHEDULERS),
+        help="adversary strategies (default: round_robin)",
+    )
+    sweep.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="number of seeds: the grid uses seeds 0 .. N-1 (default: 1)",
+    )
+    sweep.add_argument(
+        "--labels", type=int, nargs="+", default=None, help="agent labels (default: per-problem)"
+    )
+    sweep.add_argument(
+        "--team-size", type=int, default=None, help="team size for --problem teams"
+    )
+    sweep.add_argument(
+        "--max-traversals",
+        type=int,
+        default=2_000_000,
+        help="per-cell edge-traversal budget (default: 2,000,000)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; default: 1)",
+    )
+    sweep.add_argument(
+        "--json", metavar="FILE", default=None, help="also write the SweepResult JSON to FILE"
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
 
     experiment = subparsers.add_parser(
@@ -119,70 +218,163 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_rendezvous(args: argparse.Namespace) -> int:
-    graph = named_family(args.family, args.size, rng_seed=args.seed)
-    model = SimulationCostModel()
-    scheduler = experiments.make_scheduler(args.scheduler, seed=args.seed)
-    placements = [(args.labels[0], 0), (args.labels[1], graph.size // 2)]
-    runner = run_baseline_rendezvous if args.baseline else run_rendezvous
-    result = runner(
-        graph,
-        placements,
-        scheduler=scheduler,
-        model=model,
-        max_traversals=args.max_traversals,
-        on_cost_limit="return",
+# ----------------------------------------------------------------------
+# record printers (one per problem kind)
+# ----------------------------------------------------------------------
+def _print_graph_line(record: RunRecord) -> None:
+    print(
+        f"graph: {record.graph_name} "
+        f"({record.graph_size} nodes, {record.graph_edges} edges)"
     )
-    algorithm = "naive exponential baseline" if args.baseline else "RV-asynch-poly"
-    print(f"graph: {graph.name} ({graph.size} nodes, {graph.num_edges} edges)")
-    print(f"algorithm: {algorithm}; adversary: {args.scheduler}")
-    print(f"result: {result.summary()}")
-    return 0 if result.met else 1
+
+
+def _print_rendezvous(record: RunRecord) -> None:
+    algorithm = (
+        "naive exponential baseline"
+        if record.problem == "baseline"
+        else "RV-asynch-poly"
+    )
+    _print_graph_line(record)
+    print(f"algorithm: {algorithm}; adversary: {record.scheduler}")
+    print(f"result: {record.summary()}")
+
+
+def _print_esst(record: RunRecord) -> None:
+    extra = record.extra_dict
+    _print_graph_line(record)
+    print(f"token at node {extra['token_node']}, agent starts at node {extra['start']}")
+    print(
+        f"ESST finished in phase {extra['final_phase']} "
+        f"(bound 9n+3 = {extra['phase_bound']}) after {record.cost} edge traversals"
+    )
+    print(f"all edges traversed: {record.ok}")
+
+
+def _print_teams(record: RunRecord) -> None:
+    extra = record.extra_dict
+    labels = list(extra["team_labels"])
+    print(f"graph: {record.graph_name}; team labels: {labels}")
+    print(f"all agents output: {extra['all_output']}; outputs correct: {record.ok}")
+    print(f"total cost (edge traversals until every agent output): {record.cost}")
+    if record.ok:
+        print(f"team size: {len(labels)}; leader: {extra['leader']}")
+        renaming = {label: rank + 1 for rank, label in enumerate(labels)}
+        print(f"perfect renaming: {renaming}")
+
+
+_PRINTERS = {
+    "rendezvous": _print_rendezvous,
+    "baseline": _print_rendezvous,
+    "esst": _print_esst,
+    "teams": _print_teams,
+}
+
+
+def _print_record(record: RunRecord) -> None:
+    _PRINTERS.get(record.problem, _print_rendezvous)(record)
+
+
+def _execute_or_dump(spec: ScenarioSpec, dump_spec: Optional[str]) -> int:
+    """Run ``spec`` (or write it to disk when ``--dump-spec`` was given)."""
+    if dump_spec is not None:
+        Path(dump_spec).write_text(spec.to_json() + "\n", encoding="utf-8")
+        print(f"wrote scenario spec to {dump_spec}")
+        return 0
+    record = run(spec)
+    _print_record(record)
+    return 0 if record.ok else 1
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _run_rendezvous(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec(
+        problem="baseline" if args.baseline else "rendezvous",
+        family=args.family,
+        size=args.size,
+        seed=args.seed,
+        labels=tuple(args.labels),
+        scheduler=args.scheduler,
+        max_traversals=args.max_traversals,
+    )
+    return _execute_or_dump(spec, args.dump_spec)
 
 
 def _run_esst(args: argparse.Namespace) -> int:
-    graph = named_family(args.family, args.size, rng_seed=args.seed)
-    model = SimulationCostModel()
-    token_node = args.token_node if args.token_node is not None else max(graph.nodes())
-    start = 0 if token_node != 0 else 1
-    result = run_esst(graph, start, Position.at_node(token_node), model)
-    print(f"graph: {graph.name} ({graph.size} nodes, {graph.num_edges} edges)")
-    print(f"token at node {token_node}, agent starts at node {start}")
-    print(
-        f"ESST finished in phase {result.final_phase} "
-        f"(bound 9n+3 = {9 * graph.size + 3}) after {result.traversals} edge traversals"
+    spec = ScenarioSpec(
+        problem="esst",
+        family=args.family,
+        size=args.size,
+        seed=args.seed,
+        token_node=args.token_node,
+        max_traversals=args.max_traversals,
     )
-    print(f"all edges traversed: {result.all_edges_traversed}")
-    return 0 if result.all_edges_traversed else 1
+    return _execute_or_dump(spec, args.dump_spec)
 
 
 def _run_teams(args: argparse.Namespace) -> int:
-    graph = named_family(args.family, args.size, rng_seed=args.seed)
-    model = SimulationCostModel()
-    nodes = sorted(graph.nodes())
-    k = args.team_size
-    members = [
-        TeamMember(label=3 + 2 * index, start_node=nodes[(index * graph.size) // k])
-        for index in range(k)
-    ]
-    scheduler = experiments.make_scheduler(args.scheduler, seed=args.seed)
-    outcome = run_sgl(
-        graph,
-        members,
-        scheduler=scheduler,
-        model=model,
+    spec = ScenarioSpec(
+        problem="teams",
+        family=args.family,
+        size=args.size,
+        seed=args.seed,
+        team_size=args.team_size,
+        scheduler=args.scheduler,
         max_traversals=args.max_traversals,
-        on_cost_limit="return",
     )
-    labels = sorted(member.label for member in members)
-    print(f"graph: {graph.name}; team labels: {labels}")
-    print(f"all agents output: {outcome.all_output}; outputs correct: {outcome.correct}")
-    print(f"total cost (edge traversals until every agent output): {outcome.cost}")
-    if outcome.correct:
-        print(f"team size: {len(labels)}; leader: {min(labels)}")
-        renaming = {label: rank + 1 for rank, label in enumerate(labels)}
-        print(f"perfect renaming: {renaming}")
-    return 0 if outcome.correct else 1
+    return _execute_or_dump(spec, args.dump_spec)
+
+
+def _run_spec_file(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
+    record = run(spec)
+    if args.json:
+        print(record.to_json())
+    else:
+        _print_record(record)
+        print(f"ok: {record.ok}")
+    return 0 if record.ok else 1
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        sweep = SweepSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
+    else:
+        sweep = SweepSpec(
+            problems=(args.problem,),
+            families=tuple(args.family),
+            sizes=tuple(args.sizes),
+            seeds=tuple(range(args.seeds)),
+            schedulers=tuple(args.schedulers),
+            label_sets=(None if args.labels is None else tuple(args.labels),),
+            team_sizes=(args.team_size,),
+            max_traversals=args.max_traversals,
+        )
+    total = len(sweep)
+
+    def progress(done: int, _total: int, record: RunRecord) -> None:
+        if not args.quiet:
+            status = "ok " if record.ok else "FAIL"
+            print(
+                f"[{done}/{total}] {status} {record.problem} {record.family} "
+                f"n={record.graph_size} seed={record.seed} "
+                f"scheduler={record.scheduler} cost={record.cost}"
+            )
+
+    executor = make_executor(args.jobs)
+    result = run_sweep(sweep, executor=executor, progress=progress)
+    print()
+    print(result.table(title=f"sweep: {total} cells, jobs={args.jobs}"))
+    print()
+    print(
+        f"ok: {sum(1 for record in result if record.ok)}/{len(result)}  "
+        f"max cost: {result.max_cost()}  mean cost: {result.mean_cost():.1f}"
+    )
+    if args.json is not None:
+        Path(args.json).write_text(result.to_json() + "\n", encoding="utf-8")
+        print(f"wrote SweepResult JSON to {args.json}")
+    return 0 if result.all_ok else 1
 
 
 def _run_experiment(args: argparse.Namespace) -> int:
@@ -208,16 +400,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "rendezvous":
-        return _run_rendezvous(args)
-    if args.command == "esst":
-        return _run_esst(args)
-    if args.command == "teams":
-        return _run_teams(args)
-    if args.command == "experiment":
-        return _run_experiment(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    handlers = {
+        "rendezvous": _run_rendezvous,
+        "esst": _run_esst,
+        "teams": _run_teams,
+        "run": _run_spec_file,
+        "sweep": _run_sweep,
+        "experiment": _run_experiment,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return handler(args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

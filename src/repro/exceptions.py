@@ -12,6 +12,10 @@ class ReproError(Exception):
     """Base class of all errors raised by the ``repro`` library."""
 
 
+class RegistryError(ReproError):
+    """A runtime registry lookup or registration failed (unknown/duplicate name)."""
+
+
 class GraphError(ReproError):
     """A port-labeled graph is malformed or an operation on it is invalid."""
 

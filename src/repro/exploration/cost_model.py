@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..exceptions import ExplorationError
+from ..runtime.registry import COST_MODELS
 from .uxs import PseudoRandomUXS, UXSProvider
 
 __all__ = [
@@ -366,3 +367,11 @@ class PaperCostModel(CostModel):
 def default_cost_model() -> SimulationCostModel:
     """Return the cost model used by examples and tests unless overridden."""
     return SimulationCostModel()
+
+
+# ----------------------------------------------------------------------
+# runtime registry entries
+# ----------------------------------------------------------------------
+COST_MODELS.register("simulation", SimulationCostModel)
+COST_MODELS.register("default", SimulationCostModel)
+COST_MODELS.register("paper", PaperCostModel)

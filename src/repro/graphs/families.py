@@ -23,6 +23,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import GraphError
+from ..runtime.registry import GRAPH_FAMILIES
 from .port_graph import PortGraphBuilder, PortLabeledGraph
 
 __all__ = [
@@ -298,21 +299,29 @@ def random_tree(n: int, rng_seed: int = 0, name: Optional[str] = None) -> PortLa
     return builder.build()
 
 
-#: Registry used by the CLI and the experiment drivers: maps a family name to
-#: a callable ``(n, rng_seed) -> PortLabeledGraph``.
-FAMILY_BUILDERS = {
-    "ring": lambda n, seed=0: ring(n),
-    "oriented_ring": lambda n, seed=0: oriented_ring(n),
-    "path": lambda n, seed=0: path(n),
-    "star": lambda n, seed=0: star(n),
-    "complete": lambda n, seed=0: complete_graph(n),
-    "binary_tree": lambda n, seed=0: binary_tree(n),
-    "hypercube": lambda n, seed=0: hypercube(max(1, (n - 1).bit_length())),
-    "lollipop": lambda n, seed=0: lollipop(max(3, n // 2), max(1, n - max(3, n // 2))),
-    "erdos_renyi": lambda n, seed=0: random_connected(n, 0.4, rng_seed=seed),
-    "random_regular": lambda n, seed=0: random_regular(n if (n * 3) % 2 == 0 else n + 1, 3, rng_seed=seed),
-    "random_tree": lambda n, seed=0: random_tree(n, rng_seed=seed),
-}
+#: Each named family is a callable ``(n, rng_seed) -> PortLabeledGraph``,
+#: registered in the runtime's graph-family registry so the scenario runtime,
+#: the CLI and the experiment drivers all resolve the same names.
+GRAPH_FAMILIES.register("ring", lambda n, seed=0: ring(n))
+GRAPH_FAMILIES.register("oriented_ring", lambda n, seed=0: oriented_ring(n))
+GRAPH_FAMILIES.register("path", lambda n, seed=0: path(n))
+GRAPH_FAMILIES.register("star", lambda n, seed=0: star(n))
+GRAPH_FAMILIES.register("complete", lambda n, seed=0: complete_graph(n))
+GRAPH_FAMILIES.register("binary_tree", lambda n, seed=0: binary_tree(n))
+GRAPH_FAMILIES.register("hypercube", lambda n, seed=0: hypercube(max(1, (n - 1).bit_length())))
+GRAPH_FAMILIES.register(
+    "lollipop", lambda n, seed=0: lollipop(max(3, n // 2), max(1, n - max(3, n // 2)))
+)
+GRAPH_FAMILIES.register("erdos_renyi", lambda n, seed=0: random_connected(n, 0.4, rng_seed=seed))
+GRAPH_FAMILIES.register(
+    "random_regular",
+    lambda n, seed=0: random_regular(n if (n * 3) % 2 == 0 else n + 1, 3, rng_seed=seed),
+)
+GRAPH_FAMILIES.register("random_tree", lambda n, seed=0: random_tree(n, rng_seed=seed))
+
+#: Backwards-compatible alias: the registry is dict-like, so historical code
+#: doing ``sorted(FAMILY_BUILDERS)`` or ``FAMILY_BUILDERS[name]`` keeps working.
+FAMILY_BUILDERS = GRAPH_FAMILIES
 
 
 def named_family(family: str, n: int, rng_seed: int = 0) -> PortLabeledGraph:

@@ -1,0 +1,86 @@
+"""The unified scenario runtime: declarative specs, registries, batched runs.
+
+This package is *the* way to execute anything in the repository:
+
+>>> from repro.runtime import ScenarioSpec, run
+>>> record = run(ScenarioSpec(problem="rendezvous", family="ring", size=8))
+>>> record.ok
+True
+
+and, batched over a grid (serial or multi-process):
+
+>>> from repro.runtime import SweepSpec, run_sweep
+>>> result = run_sweep(SweepSpec(sizes=(4, 6, 8), schedulers=("round_robin",)))
+>>> result.all_ok
+True
+
+Layout
+------
+* :mod:`~repro.runtime.registry` — string-keyed registries (graph families,
+  schedulers, problem kinds, cost models) with a decorator ``register()`` API;
+* :mod:`~repro.runtime.spec` — frozen, JSON-round-trippable
+  :class:`ScenarioSpec` / :class:`SweepSpec`;
+* :mod:`~repro.runtime.records` — uniform :class:`RunRecord` /
+  :class:`SweepResult` with aggregation helpers;
+* :mod:`~repro.runtime.runner` — ``run(spec) -> RunRecord``;
+* :mod:`~repro.runtime.executors` — ``run_sweep(...)`` with pluggable serial
+  and process-pool backends.
+
+The registries, specs and records are imported eagerly (they have no heavy
+dependencies); the runner and executors — which pull in the whole algorithm
+stack — load lazily on first attribute access, so low-level modules can
+register themselves here without import cycles.
+"""
+
+from __future__ import annotations
+
+from .records import RunRecord, SweepResult
+from .registry import COST_MODELS, GRAPH_FAMILIES, PROBLEMS, SCHEDULERS, Registry
+from .spec import ScenarioSpec, SweepSpec
+
+__all__ = [
+    "Registry",
+    "GRAPH_FAMILIES",
+    "SCHEDULERS",
+    "PROBLEMS",
+    "COST_MODELS",
+    "ScenarioSpec",
+    "SweepSpec",
+    "RunRecord",
+    "SweepResult",
+    # lazily loaded:
+    "run",
+    "build_graph",
+    "build_scheduler",
+    "build_cost_model",
+    "run_sweep",
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+]
+
+_LAZY_RUNNER = {"run", "build_graph", "build_scheduler", "build_cost_model"}
+_LAZY_EXECUTORS = {
+    "run_sweep",
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_RUNNER:
+        from . import runner
+
+        return getattr(runner, name)
+    if name in _LAZY_EXECUTORS:
+        from . import executors
+
+        return getattr(executors, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,143 @@
+"""Sweep execution backends: serial and process-pool.
+
+``run_sweep`` turns a :class:`~repro.runtime.spec.SweepSpec` (or any iterable
+of :class:`~repro.runtime.spec.ScenarioSpec`) into a
+:class:`~repro.runtime.records.SweepResult`.  The executor is pluggable:
+
+* :class:`SerialExecutor` — run every cell in-process, in order.  Supports a
+  live cost-model override, which is what the experiment drivers use.
+* :class:`ProcessPoolExecutor` — fan the cells out over worker processes.
+  Specs are picklable by construction and each cell carries its own seed, so
+  the records are identical to a serial run — only the wall-clock changes.
+
+Both backends preserve cell order and call an optional progress callback
+``progress(done, total, record)`` as records arrive.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, List, Optional, Union
+
+from ..exploration.cost_model import CostModel
+from .records import RunRecord, SweepResult
+from .runner import run
+from .spec import ScenarioSpec, SweepSpec
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+    "run_sweep",
+]
+
+ProgressCallback = Callable[[int, int, RunRecord], None]
+
+
+class Executor:
+    """Strategy interface: execute specs, return records in spec order."""
+
+    def map_specs(
+        self,
+        specs: List[ScenarioSpec],
+        model: Optional[CostModel] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunRecord]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run every cell in the current process, one after the other."""
+
+    def map_specs(
+        self,
+        specs: List[ScenarioSpec],
+        model: Optional[CostModel] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunRecord]:
+        records: List[RunRecord] = []
+        total = len(specs)
+        for index, spec in enumerate(specs):
+            record = run(spec, model=model)
+            records.append(record)
+            if progress is not None:
+                progress(index + 1, total, record)
+        return records
+
+
+def _run_cell(payload):
+    """Top-level worker entry point (must be picklable)."""
+    spec, model = payload
+    return run(spec, model=model)
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan cells out over a ``concurrent.futures`` process pool.
+
+    ``max_workers=None`` lets the pool pick one worker per CPU.  The cost
+    model override is pickled along with each spec; the default
+    (``model=None``) resolves the spec's named cost model inside the worker,
+    which also keeps each worker's exploration-sequence caches local.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+
+    def map_specs(
+        self,
+        specs: List[ScenarioSpec],
+        model: Optional[CostModel] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunRecord]:
+        total = len(specs)
+        if total == 0:
+            return []
+        records: List[Optional[RunRecord]] = [None] * total
+        done = 0
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers
+        ) as pool:
+            futures = {
+                pool.submit(_run_cell, (spec, model)): index
+                for index, spec in enumerate(specs)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                record = future.result()
+                records[index] = record
+                done += 1
+                if progress is not None:
+                    progress(done, total, record)
+        return [record for record in records if record is not None]
+
+
+def make_executor(jobs: Optional[int] = None) -> Executor:
+    """``jobs`` ≤ 1 (or ``None``) → serial; otherwise a pool of ``jobs`` workers."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(max_workers=jobs)
+
+
+def run_sweep(
+    sweep: Union[SweepSpec, Iterable[ScenarioSpec]],
+    executor: Optional[Executor] = None,
+    model: Optional[CostModel] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Execute every cell of ``sweep`` and collect a :class:`SweepResult`.
+
+    ``sweep`` is either a declarative :class:`SweepSpec` grid or an explicit
+    iterable of scenarios (for non-rectangular sweeps such as the adversary
+    ablation's scheduler/patience pairs).  Records come back in cell order
+    regardless of the executor.
+    """
+    if isinstance(sweep, SweepSpec):
+        specs = list(sweep.cells())
+        sweep_spec: Optional[SweepSpec] = sweep
+    else:
+        specs = list(sweep)
+        sweep_spec = None
+    executor = executor if executor is not None else SerialExecutor()
+    records = executor.map_specs(specs, model=model, progress=progress)
+    return SweepResult(records=records, sweep=sweep_spec)

@@ -1,0 +1,233 @@
+"""``run(spec) -> RunRecord``: the single entry point for executing scenarios.
+
+The runner resolves every symbolic name of a
+:class:`~repro.runtime.spec.ScenarioSpec` through the registries, builds the
+graph / scheduler / cost model, dispatches to the problem kind registered in
+:data:`~repro.runtime.registry.PROBLEMS` and returns a uniform
+:class:`~repro.runtime.records.RunRecord`.  The CLI, the experiment drivers,
+the benchmarks and the examples all go through this function; a new problem
+kind registered here is immediately available to all of them.
+
+Placement conventions (chosen to match the seed entry points exactly, so the
+migrated drivers reproduce the historical tables bit for bit):
+
+* rendezvous / baseline — labels default to ``(6, 11)``; start nodes default
+  to node ``0`` and the antipodal node ``size // 2``;
+* teams — member ``i`` gets label ``3 + 2 i`` and starts at
+  ``sorted(nodes)[(i * size) // k]``;
+* esst — the token sits at the highest-numbered node (unless
+  ``spec.token_node`` says otherwise) and the agent starts at node ``0``
+  (or ``1`` when the token is at ``0``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.baseline import run_baseline_rendezvous
+from ..core.rendezvous import run_rendezvous
+from ..exceptions import ReproError
+from ..exploration.cost_model import CostModel
+from ..exploration.esst import run_esst
+from ..graphs import families as _families  # noqa: F401  (registers the families)
+from ..graphs.port_graph import PortLabeledGraph
+from ..sim import schedulers as _schedulers  # noqa: F401  (registers the adversaries)
+from ..sim.position import Position
+from ..sim.schedulers import Scheduler
+from ..teams.problems import TeamMember, run_sgl
+from .records import RunRecord
+from .registry import COST_MODELS, GRAPH_FAMILIES, PROBLEMS, SCHEDULERS
+from .spec import ScenarioSpec
+
+__all__ = ["run", "build_graph", "build_scheduler", "build_cost_model"]
+
+
+def build_graph(spec: ScenarioSpec) -> PortLabeledGraph:
+    """Build the graph a spec describes (family, size and seed)."""
+    return GRAPH_FAMILIES.create(spec.family, spec.size, spec.seed)
+
+
+def build_scheduler(spec: ScenarioSpec) -> Scheduler:
+    """Build the adversary a spec describes (name, seed and parameters).
+
+    The scheduler inherits the scenario's seed unless ``scheduler_params``
+    carries an explicit ``"seed"`` of its own.
+    """
+    kwargs = {"seed": spec.seed, **spec.scheduler_kwargs}
+    return SCHEDULERS.create(spec.scheduler, **kwargs)
+
+
+def build_cost_model(spec: ScenarioSpec) -> CostModel:
+    """Build the cost model a spec names."""
+    return COST_MODELS.create(spec.cost_model)
+
+
+def run(spec: ScenarioSpec, model: Optional[CostModel] = None) -> RunRecord:
+    """Execute one scenario and return its :class:`RunRecord`.
+
+    ``model`` optionally overrides the spec's named cost model with a live
+    instance — used by the experiment drivers, which accept model objects.
+    Sweeps shipped to worker processes rely on the spec alone.
+    """
+    spec.validate()
+    graph = build_graph(spec)
+    model = model if model is not None else build_cost_model(spec)
+    return PROBLEMS.create(spec.problem, spec, graph, model)
+
+
+# ----------------------------------------------------------------------
+# problem kinds
+# ----------------------------------------------------------------------
+def _record(
+    spec: ScenarioSpec,
+    graph: PortLabeledGraph,
+    *,
+    ok: bool,
+    cost: int,
+    reason: str,
+    decisions: int,
+    extra: Any = (),
+) -> RunRecord:
+    return RunRecord(
+        spec=spec,
+        ok=ok,
+        cost=cost,
+        reason=reason,
+        decisions=decisions,
+        graph_name=graph.name,
+        graph_size=graph.size,
+        graph_edges=graph.num_edges,
+        extra=extra,
+    )
+
+
+def _rendezvous_placements(spec: ScenarioSpec, graph: PortLabeledGraph):
+    labels = spec.labels if spec.labels is not None else (6, 11)
+    if len(labels) != 2:
+        raise ReproError(f"{spec.problem} needs exactly two labels, got {labels!r}")
+    starts = spec.starts if spec.starts is not None else (0, graph.size // 2)
+    if len(starts) != 2:
+        raise ReproError(f"{spec.problem} needs exactly two start nodes, got {starts!r}")
+    return [(labels[0], starts[0]), (labels[1], starts[1])]
+
+
+def _meeting_extra(result) -> dict:
+    extra = {
+        "traversals_by_agent": dict(result.traversals_by_agent),
+        "meeting_node": None,
+        "meeting_edge": None,
+    }
+    if result.meeting is not None:
+        extra["meeting_node"] = result.meeting.node
+        extra["meeting_edge"] = result.meeting.edge
+    return extra
+
+
+def _meeting_problem(runner):
+    """Both two-agent algorithms share placements and record shape; only the
+    underlying runner differs."""
+
+    def _run_problem(
+        spec: ScenarioSpec, graph: PortLabeledGraph, model: CostModel
+    ) -> RunRecord:
+        result = runner(
+            graph,
+            _rendezvous_placements(spec, graph),
+            scheduler=build_scheduler(spec),
+            model=model,
+            max_traversals=spec.max_traversals,
+            on_cost_limit=spec.on_cost_limit,
+        )
+        return _record(
+            spec,
+            graph,
+            ok=result.met,
+            cost=result.cost(),
+            reason=result.reason,
+            decisions=result.decisions,
+            extra=_meeting_extra(result),
+        )
+
+    return _run_problem
+
+
+PROBLEMS.register("rendezvous", _meeting_problem(run_rendezvous))
+PROBLEMS.register("baseline", _meeting_problem(run_baseline_rendezvous))
+
+
+@PROBLEMS.register("esst")
+def _run_esst_problem(
+    spec: ScenarioSpec, graph: PortLabeledGraph, model: CostModel
+) -> RunRecord:
+    token_node = (
+        spec.token_node if spec.token_node is not None else max(graph.nodes())
+    )
+    if spec.starts is not None:
+        start = spec.starts[0]
+    else:
+        start = 0 if token_node != 0 else 1
+    result = run_esst(graph, start, Position.at_node(token_node), model)
+    return _record(
+        spec,
+        graph,
+        ok=result.all_edges_traversed,
+        cost=result.traversals,
+        reason="esst",
+        decisions=0,
+        extra={
+            "final_phase": result.final_phase,
+            "phase_bound": 9 * graph.size + 3,
+            "token_node": token_node,
+            "start": start,
+            "sightings": result.sightings,
+        },
+    )
+
+
+@PROBLEMS.register("teams")
+def _run_teams_problem(
+    spec: ScenarioSpec, graph: PortLabeledGraph, model: CostModel
+) -> RunRecord:
+    nodes = sorted(graph.nodes())
+    if spec.labels is not None:
+        labels = list(spec.labels)
+    else:
+        k = spec.team_size if spec.team_size is not None else 3
+        labels = [3 + 2 * index for index in range(k)]
+    k = len(labels)
+    if k > graph.size:
+        raise ReproError(
+            f"team of {k} agents does not fit a graph of {graph.size} nodes"
+        )
+    if spec.starts is not None:
+        starts = list(spec.starts)
+        if len(starts) != k:
+            raise ReproError("teams needs one start node per label")
+    else:
+        starts = [nodes[(index * graph.size) // k] for index in range(k)]
+    members = [
+        TeamMember(label=label, start_node=start)
+        for label, start in zip(labels, starts)
+    ]
+    outcome = run_sgl(
+        graph,
+        members,
+        scheduler=build_scheduler(spec),
+        model=model,
+        max_traversals=spec.max_traversals,
+        on_cost_limit=spec.on_cost_limit,
+    )
+    sorted_labels = tuple(sorted(labels))
+    return _record(
+        spec,
+        graph,
+        ok=outcome.correct,
+        cost=outcome.cost,
+        reason=outcome.result.reason,
+        decisions=outcome.result.decisions,
+        extra={
+            "team_labels": sorted_labels,
+            "all_output": outcome.all_output,
+            "leader": min(sorted_labels) if outcome.correct else None,
+        },
+    )

@@ -1,0 +1,308 @@
+"""Declarative, JSON-round-trippable scenario and sweep specifications.
+
+A :class:`ScenarioSpec` is a frozen value object describing *one* run — the
+graph, the agents, the adversary, the budget and the problem being solved —
+without holding any live object.  Because every field is a plain value the
+spec pickles and JSON-round-trips by construction, which is what lets the
+sweep runtime ship cells to worker processes and lets experiments be stored
+next to their results.
+
+A :class:`SweepSpec` is a grid over scenario dimensions (families, sizes,
+seeds, schedulers, label sets, scheduler parameter sets, problems, team
+sizes); :meth:`SweepSpec.cells` enumerates the concrete scenarios in a fixed
+deterministic order, so two executions of the same sweep — serial or in a
+process pool — always produce records in the same order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from ..exceptions import ReproError
+from .registry import COST_MODELS, GRAPH_FAMILIES, PROBLEMS, SCHEDULERS
+
+__all__ = ["ScenarioSpec", "SweepSpec", "ParamItems"]
+
+#: Normalised key/value parameter bag: a sorted tuple of ``(key, value)``
+#: pairs.  Hashable, picklable and JSON-round-trippable, unlike a dict.
+ParamItems = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_params(params: Any) -> ParamItems:
+    """Normalise a mapping / item sequence into a sorted tuple of pairs."""
+    if params is None:
+        return ()
+    if isinstance(params, Mapping):
+        items = params.items()
+    else:
+        items = [(key, value) for key, value in params]
+    return tuple(sorted((str(key), value) for key, value in items))
+
+
+def _freeze_ints(values: Any) -> Optional[Tuple[int, ...]]:
+    if values is None:
+        return None
+    return tuple(int(value) for value in values)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to run one scenario, as plain values.
+
+    Attributes
+    ----------
+    problem:
+        Problem kind (a :data:`~repro.runtime.registry.PROBLEMS` name):
+        ``"rendezvous"``, ``"baseline"``, ``"esst"`` or ``"teams"``.
+    family, size, seed:
+        Graph family name, requested size and seed (the seed feeds both the
+        randomised families and the seeded schedulers).
+    labels:
+        Agent labels.  ``None`` applies the problem's default placement
+        (labels ``(6, 11)`` for the two rendezvous agents; ``3 + 2 i`` for
+        team member ``i``).
+    starts:
+        Start nodes, parallel to ``labels``.  ``None`` applies the default
+        placement rule (antipodal for rendezvous, evenly spread for teams).
+    team_size:
+        Number of agents for the ``"teams"`` problem when ``labels`` is
+        ``None``.
+    token_node:
+        Token position for ``"esst"``; ``None`` means the highest-numbered
+        node.
+    scheduler, scheduler_params:
+        Adversary name (a :data:`~repro.runtime.registry.SCHEDULERS` name)
+        and its keyword parameters (e.g. ``{"patience": 256}``).
+    cost_model:
+        Cost-model name (a :data:`~repro.runtime.registry.COST_MODELS`
+        name); serial callers may instead pass a live model to ``run()``.
+    max_traversals, on_cost_limit:
+        The engine budget and what to do when it is hit.
+    """
+
+    problem: str = "rendezvous"
+    family: str = "ring"
+    size: int = 6
+    seed: int = 0
+    labels: Optional[Tuple[int, ...]] = None
+    starts: Optional[Tuple[int, ...]] = None
+    team_size: Optional[int] = None
+    token_node: Optional[int] = None
+    scheduler: str = "round_robin"
+    scheduler_params: ParamItems = ()
+    cost_model: str = "simulation"
+    max_traversals: int = 2_000_000
+    on_cost_limit: str = "return"
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "labels", _freeze_ints(self.labels))
+        object.__setattr__(self, "starts", _freeze_ints(self.starts))
+        object.__setattr__(
+            self, "scheduler_params", _freeze_params(self.scheduler_params)
+        )
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    @property
+    def scheduler_kwargs(self) -> Dict[str, Any]:
+        """The scheduler parameters as a keyword dict."""
+        return dict(self.scheduler_params)
+
+    def replace(self, **changes: Any) -> "ScenarioSpec":
+        """Return a copy with ``changes`` applied (specs are immutable)."""
+        return replace(self, **changes)
+
+    def validate(self) -> "ScenarioSpec":
+        """Check every symbolic name against its registry; return ``self``.
+
+        Validation is explicit (not done at construction) so that specs can
+        be built before the defining modules are imported; the runner always
+        validates before running.
+        """
+        if self.problem not in PROBLEMS:
+            raise ReproError(
+                f"unknown problem {self.problem!r}; available: {sorted(PROBLEMS)}"
+            )
+        if self.family not in GRAPH_FAMILIES:
+            raise ReproError(
+                f"unknown graph family {self.family!r}; "
+                f"available: {sorted(GRAPH_FAMILIES)}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ReproError(
+                f"unknown scheduler {self.scheduler!r}; available: {sorted(SCHEDULERS)}"
+            )
+        if self.cost_model not in COST_MODELS:
+            raise ReproError(
+                f"unknown cost model {self.cost_model!r}; "
+                f"available: {sorted(COST_MODELS)}"
+            )
+        if self.size < 1:
+            raise ReproError(f"graph size must be positive, got {self.size}")
+        if self.max_traversals < 1:
+            raise ReproError("max_traversals must be positive")
+        if self.on_cost_limit not in ("raise", "return"):
+            raise ReproError("on_cost_limit must be 'raise' or 'return'")
+        return self
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; ``scheduler_params`` becomes a JSON object."""
+        data: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name == "scheduler_params":
+                value = dict(value)
+            elif isinstance(value, tuple):
+                value = list(value)
+            data[spec_field.name] = value
+        return data
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(f"unknown ScenarioSpec fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ReproError("a ScenarioSpec JSON document must be an object")
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of scenarios: the cartesian product of the listed dimensions.
+
+    The enumeration order of :meth:`cells` is fixed: family, size, seed,
+    scheduler, scheduler-parameter set, label set, team size, problem — the
+    outermost dimension varies slowest.  Per-cell seeding is deterministic:
+    every cell carries its own seed taken from the ``seeds`` grid, so a cell
+    is fully reproducible in isolation (the property the process-pool
+    executor relies on).
+    """
+
+    problems: Tuple[str, ...] = ("rendezvous",)
+    families: Tuple[str, ...] = ("ring",)
+    sizes: Tuple[int, ...] = (6,)
+    seeds: Tuple[int, ...] = (0,)
+    schedulers: Tuple[str, ...] = ("round_robin",)
+    label_sets: Tuple[Optional[Tuple[int, ...]], ...] = (None,)
+    scheduler_param_sets: Tuple[ParamItems, ...] = ((),)
+    team_sizes: Tuple[Optional[int], ...] = (None,)
+    cost_model: str = "simulation"
+    max_traversals: int = 2_000_000
+    on_cost_limit: str = "return"
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "problems", tuple(self.problems))
+        object.__setattr__(self, "families", tuple(self.families))
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "schedulers", tuple(self.schedulers))
+        object.__setattr__(
+            self, "label_sets", tuple(_freeze_ints(labels) for labels in self.label_sets)
+        )
+        object.__setattr__(
+            self,
+            "scheduler_param_sets",
+            tuple(_freeze_params(params) for params in self.scheduler_param_sets),
+        )
+        object.__setattr__(
+            self,
+            "team_sizes",
+            tuple(None if k is None else int(k) for k in self.team_sizes),
+        )
+
+    def __len__(self) -> int:
+        return (
+            len(self.problems)
+            * len(self.families)
+            * len(self.sizes)
+            * len(self.seeds)
+            * len(self.schedulers)
+            * len(self.label_sets)
+            * len(self.scheduler_param_sets)
+            * len(self.team_sizes)
+        )
+
+    def cells(self) -> Iterator[ScenarioSpec]:
+        """Enumerate the concrete scenarios of the grid, outermost first."""
+        grid = itertools.product(
+            self.families,
+            self.sizes,
+            self.seeds,
+            self.schedulers,
+            self.scheduler_param_sets,
+            self.label_sets,
+            self.team_sizes,
+            self.problems,
+        )
+        for family, size, seed, scheduler, params, labels, team_size, problem in grid:
+            yield ScenarioSpec(
+                problem=problem,
+                family=family,
+                size=size,
+                seed=seed,
+                labels=labels,
+                team_size=team_size,
+                scheduler=scheduler,
+                scheduler_params=params,
+                cost_model=self.cost_model,
+                max_traversals=self.max_traversals,
+                on_cost_limit=self.on_cost_limit,
+                name=self.name,
+            )
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name == "scheduler_param_sets":
+                value = [dict(params) for params in value]
+            elif spec_field.name == "label_sets":
+                value = [None if labels is None else list(labels) for labels in value]
+            elif isinstance(value, tuple):
+                value = list(value)
+            data[spec_field.name] = value
+        return data
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(f"unknown SweepSpec fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ReproError("a SweepSpec JSON document must be an object")
+        return cls.from_dict(data)

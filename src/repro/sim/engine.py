@@ -198,9 +198,10 @@ class AsyncEngine:
         Stop (successfully) once every agent's controller has produced an
         output — the termination criterion of the §4 problems.
     max_traversals:
-        Budget on the total number of edge traversals; exceeding it raises
-        :class:`CostLimitExceeded` (or returns a partial result when
-        ``on_cost_limit="return"``).
+        Budget on the total number of edge traversals; reaching it without
+        the goal raises :class:`CostLimitExceeded` (or returns a partial
+        result when ``on_cost_limit="return"``).  A returned result never
+        reports ``total_traversals`` above the budget.
     max_decisions:
         Safety valve against schedulers that make unbounded numbers of
         zero-progress decisions.  Defaults to a generous multiple of
@@ -294,8 +295,6 @@ class AsyncEngine:
                 self._finish(StopReason.SCHEDULER_EXHAUSTED)
                 break
             self._apply(decision)
-            if not self._done and self.total_traversals > self._max_traversals:
-                self._handle_cost_limit()
         return self._build_result()
 
     # ------------------------------------------------------------------
@@ -352,10 +351,20 @@ class AsyncEngine:
         self._sweep(state, pending, pending.progress, target)
         if self._done:
             return
-        pending.progress = target
         if target == _ONE:
+            if self.total_traversals >= self._max_traversals:
+                # Completing this traversal would push the total past the
+                # budget, so the budget is exhausted *now*: the run ends with
+                # the agent parked where it is and the result never reports
+                # ``total_traversals > max_traversals``.  Zero-cost decisions
+                # (wakes, partial advances) — and hence meetings strictly
+                # inside an edge — remain possible at exactly the budget.
+                self._handle_cost_limit()
+                return
+            pending.progress = target
             self._complete_traversal(state)
         else:
+            pending.progress = target
             state.position = Position.on_edge(
                 pending.edge, pending.canonical_fraction(target)
             )

@@ -38,6 +38,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..exceptions import SchedulerError
+from ..runtime.registry import SCHEDULERS
 
 __all__ = [
     "Decision",
@@ -310,3 +311,39 @@ class GreedyAvoidingScheduler(Scheduler):
                 self._passed_over[name] += 1
         self._passed_over[chosen] = 0
         return complete(chosen)
+
+
+# ----------------------------------------------------------------------
+# runtime registry entries
+# ----------------------------------------------------------------------
+# The named adversaries of the experiment suite.  Factories take the run's
+# seed plus free-form parameters and ignore what they do not use, so one
+# scenario-spec parameter bag serves every adversary.
+
+@SCHEDULERS.register("round_robin")
+def _make_round_robin(seed: int = 0, **_params) -> RoundRobinScheduler:
+    return RoundRobinScheduler()
+
+
+@SCHEDULERS.register("random")
+def _make_random(seed: int = 0, **_params) -> RandomScheduler:
+    return RandomScheduler(seed=seed)
+
+
+@SCHEDULERS.register("lazy")
+def _make_lazy(
+    seed: int = 0, starved: str = "agent-2", release_after: int = 64, **_params
+) -> LazyScheduler:
+    return LazyScheduler(starved, release_after=release_after)
+
+
+@SCHEDULERS.register("delay_until_stop")
+def _make_delay_until_stop(
+    seed: int = 0, starved: str = "agent-2", **_params
+) -> LazyScheduler:
+    return LazyScheduler(starved, release_after=None)
+
+
+@SCHEDULERS.register("avoider")
+def _make_avoider(seed: int = 0, patience: int = 64, **_params) -> GreedyAvoidingScheduler:
+    return GreedyAvoidingScheduler(patience=patience)

@@ -1,0 +1,1 @@
+"""Test package marker so ``tests.helpers`` resolves under top-level collection."""

@@ -1,0 +1,114 @@
+"""Tests of the declarative scenario/sweep specs (JSON round-trips, grids)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.runtime import ScenarioSpec, SweepSpec
+
+
+class TestScenarioSpec:
+    def test_defaults_validate(self):
+        spec = ScenarioSpec()
+        assert spec.validate() is spec
+        assert spec.problem == "rendezvous"
+        assert spec.scheduler == "round_robin"
+
+    def test_fields_are_normalised_to_tuples(self):
+        spec = ScenarioSpec(labels=[6, 11], starts=[0, 3], scheduler_params={"patience": 4})
+        assert spec.labels == (6, 11)
+        assert spec.starts == (0, 3)
+        assert spec.scheduler_params == (("patience", 4),)
+        assert spec.scheduler_kwargs == {"patience": 4}
+
+    def test_json_round_trip_equality(self):
+        spec = ScenarioSpec(
+            problem="teams",
+            family="erdos_renyi",
+            size=9,
+            seed=7,
+            team_size=3,
+            scheduler="avoider",
+            scheduler_params={"patience": 16},
+            max_traversals=123_456,
+            name="round-trip",
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_json_round_trip_with_labels_and_starts(self):
+        spec = ScenarioSpec(labels=(5, 12), starts=(1, 4), token_node=2)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ReproError):
+            ScenarioSpec.from_dict({"problem": "rendezvous", "turbo": True})
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ReproError):
+            ScenarioSpec.from_json("[1, 2, 3]")
+
+    def test_validate_rejects_unknown_names(self):
+        with pytest.raises(ReproError):
+            ScenarioSpec(problem="chess").validate()
+        with pytest.raises(ReproError):
+            ScenarioSpec(family="moebius").validate()
+        with pytest.raises(ReproError):
+            ScenarioSpec(scheduler="chaotic").validate()
+        with pytest.raises(ReproError):
+            ScenarioSpec(on_cost_limit="explode").validate()
+
+    def test_specs_are_picklable_and_hashable(self):
+        spec = ScenarioSpec(scheduler_params={"patience": 8})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert hash(spec) == hash(spec.replace())
+
+    def test_replace_returns_updated_copy(self):
+        spec = ScenarioSpec(size=6)
+        bigger = spec.replace(size=12)
+        assert spec.size == 6 and bigger.size == 12
+
+
+class TestSweepSpec:
+    def test_grid_enumeration_order(self):
+        sweep = SweepSpec(
+            problems=("rendezvous", "baseline"),
+            families=("ring",),
+            sizes=(4, 6),
+            seeds=(0, 1),
+            schedulers=("round_robin",),
+        )
+        cells = list(sweep.cells())
+        assert len(cells) == len(sweep) == 8
+        # outermost-first: family, size, seed, ..., problem (innermost).
+        assert [(c.size, c.seed, c.problem) for c in cells[:4]] == [
+            (4, 0, "rendezvous"),
+            (4, 0, "baseline"),
+            (4, 1, "rendezvous"),
+            (4, 1, "baseline"),
+        ]
+
+    def test_every_cell_carries_its_own_seed(self):
+        sweep = SweepSpec(seeds=(0, 1, 2))
+        assert [cell.seed for cell in sweep.cells()] == [0, 1, 2]
+
+    def test_json_round_trip_equality(self):
+        sweep = SweepSpec(
+            problems=("rendezvous",),
+            families=("ring", "erdos_renyi"),
+            sizes=(4, 8, 12),
+            seeds=(0, 1, 2),
+            schedulers=("round_robin", "avoider"),
+            label_sets=((6, 11), (1, 2)),
+            scheduler_param_sets=({"patience": 4}, {"patience": 64}),
+            team_sizes=(None, 3),
+            max_traversals=777,
+            name="grid",
+        )
+        assert SweepSpec.from_json(sweep.to_json()) == sweep
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ReproError):
+            SweepSpec.from_dict({"sizes": [4], "warp": 9})
