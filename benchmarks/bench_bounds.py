@@ -4,48 +4,89 @@ Pure computation (no simulation): tabulates ``Π(n, |L|)`` and the exponential
 baseline guarantee over a grid of sizes and labels, classifies their growth,
 and reports where the crossover falls.  Also sweeps the exponent of the
 exploration polynomial ``P`` (the ablation called out in DESIGN.md).
+
+The guarantee grid runs through the scenario runtime's ``"bounds"`` problem
+kind — each (n, L) pair is a :class:`~repro.runtime.spec.ScenarioSpec` cell
+whose record carries both bounds in its extra bag — so bound tables sweep,
+cache and store exactly like measured ones.
 """
 
 from __future__ import annotations
 
-from repro.analysis import experiments
 from repro.analysis.fitting import fit_power_law
-from repro.core.bounds import compare_bounds
 from repro.exploration.cost_model import PaperCostModel
+from repro.runtime import ScenarioSpec
+from repro.runtime.executors import run_sweep
 
 from ._harness import emit, run_once
 
+SIZES = (2, 4, 8, 16, 32)
+LABELS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def bound_cells(sizes=SIZES, labels=LABELS):
+    """One ``bounds`` cell per (n, L): agents carry labels L and L + 1."""
+    return [
+        ScenarioSpec(
+            problem="bounds",
+            family="path",
+            size=n,
+            labels=(label, label + 1),
+            cost_model="paper",
+            name="e3-bound-scaling",
+        )
+        for n in sizes
+        for label in labels
+    ]
+
+
+FIELDS = ("n", "label_small", "label_length", "rv_bound", "baseline_bound")
+
 
 def test_bound_scaling(benchmark, paper_model):
-    records = run_once(
-        benchmark,
-        experiments.bound_scaling,
-        sizes=(2, 4, 8, 16, 32),
-        labels=(1, 2, 4, 8, 16, 32, 64),
-        model=paper_model,
+    result = run_once(benchmark, run_sweep, bound_cells(), model=paper_model)
+    emit(
+        "e3_bound_scaling",
+        result.table(
+            FIELDS,
+            title="E3: worst-case guarantees (Theorem 3.1 vs the exponential baseline)",
+        ),
     )
-    emit("e3_bound_scaling", experiments.bound_scaling_table(records))
     # The crossover: for long enough labels the polynomial guarantee wins.
-    largest_label = max(record.label for record in records)
-    for record in records:
-        if record.label == largest_label:
-            assert record.baseline_bound > record.rv_bound
+    largest_label = max(record.extra_dict["label_small"] for record in result)
+    for record in result:
+        extra = record.extra_dict
+        if extra["label_small"] == largest_label:
+            assert extra["baseline_bound"] > extra["rv_bound"]
     # The RV bound depends on the label only through its length.
     by_length = {}
-    for record in records:
-        by_length.setdefault((record.n, record.label_length), set()).add(record.rv_bound)
+    for record in result:
+        extra = record.extra_dict
+        by_length.setdefault((record.graph_size, extra["label_length"]), set()).add(
+            extra["rv_bound"]
+        )
     assert all(len(values) == 1 for values in by_length.values())
 
 
 def test_bound_ablation_on_exploration_polynomial(benchmark):
-    """How the degree of P(k) propagates into the degree of Π(n, m)."""
+    """How the degree of P(k) propagates into the degree of Π(n, m).
+
+    Each exponent gets its own live cost model (the registry's ``paper``
+    model has the paper's fixed exponent), so the sweep passes the model as
+    an override on top of the same ``bounds`` cells.
+    """
 
     def sweep():
         rows = []
+        cells = [
+            ScenarioSpec(problem="bounds", family="path", size=n, labels=(2, 3), cost_model="paper")
+            for n in (4, 8, 16, 32)
+        ]
         for exponent in (1, 2, 3):
             model = PaperCostModel(length_coefficient=1, length_exponent=exponent)
-            sizes = (4, 8, 16, 32)
-            bounds = [model.pi_bound(n, 2) for n in sizes]
+            result = run_sweep(cells, model=model)
+            sizes = [record.graph_size for record in result]
+            bounds = [record.extra_dict["rv_bound"] for record in result]
             fit = fit_power_law(sizes, bounds)
             rows.append((exponent, fit.slope, bounds[-1]))
         return rows

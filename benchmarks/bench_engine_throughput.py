@@ -2,35 +2,53 @@
 
 Not one of the paper's experiments, but the number every other benchmark's
 wall-clock time depends on: how fast the asynchronous engine can drive agent
-programs.  Uses a plain round-robin schedule of two RV-asynch-poly agents on a
-ring with a fixed traversal budget.
+programs.  The instance is declared as a
+:class:`~repro.runtime.spec.ScenarioSpec` and its graph, adversary and cost
+model are resolved through the runtime's builders; the engine itself is then
+driven *without* a rendezvous goal (a deliberate step below the problem
+layer — the problem kinds all stop at their goal, while this benchmark must
+burn its full traversal budget so every timed run does identical work).
 """
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.rendezvous import RendezvousController
-from repro.exceptions import CostLimitExceeded
-from repro.graphs import families
-from repro.sim import AgentSpec, AsyncEngine, RoundRobinScheduler
+from repro.runtime import ScenarioSpec
+from repro.runtime.runner import build_graph, build_scheduler
+from repro.sim import AgentSpec, AsyncEngine
 
 TRAVERSAL_BUDGET = 30_000
 
+SPEC = ScenarioSpec(
+    problem="rendezvous",
+    family="ring",
+    size=8,
+    labels=(6, 11),
+    starts=(0, 4),
+    scheduler="round_robin",
+    max_traversals=TRAVERSAL_BUDGET,
+    on_cost_limit="return",
+    name="engine-throughput",
+)
+
 
 def _drive_engine(sim_model):
-    graph = families.ring(8)
+    graph = build_graph(SPEC)
     engine = AsyncEngine(
         graph,
         [
-            AgentSpec(RendezvousController("agent-1", 6, sim_model), 0),
+            AgentSpec(
+                RendezvousController("agent-1", SPEC.labels[0], sim_model), SPEC.starts[0]
+            ),
             # No rendezvous goal and a far-away partner: the run always hits
             # the budget, so every timed run does the same amount of work.
-            AgentSpec(RendezvousController("agent-2", 11, sim_model), 4),
+            AgentSpec(
+                RendezvousController("agent-2", SPEC.labels[1], sim_model), SPEC.starts[1]
+            ),
         ],
-        RoundRobinScheduler(),
-        max_traversals=TRAVERSAL_BUDGET,
-        on_cost_limit="return",
+        build_scheduler(SPEC),
+        max_traversals=SPEC.max_traversals,
+        on_cost_limit=SPEC.on_cost_limit,
     )
     return engine.run()
 

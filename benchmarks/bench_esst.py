@@ -3,35 +3,49 @@
 Theorem 2.1: the procedure terminates after a number of edge traversals
 polynomial in the size of the graph, having traversed every edge; the final
 phase index exceeds the size and is at most ``9n + 3``.
+
+The benchmark declares the grid as a :class:`~repro.runtime.spec.SweepSpec`
+and executes it with :func:`~repro.runtime.executors.run_sweep` — the same
+facade as the CLI and the E4 experiment driver, so the sweep can opt into a
+result store.
 """
 
 from __future__ import annotations
 
-from repro.analysis import experiments
 from repro.analysis.fitting import fit_power_law
+from repro.runtime import SweepSpec
+from repro.runtime.executors import run_sweep
 
 from ._harness import emit, run_once
 
+SWEEP = SweepSpec(
+    problems=("esst",),
+    families=("ring", "path", "erdos_renyi"),
+    sizes=(4, 5, 6, 7, 8),
+    name="e4-esst-scaling",
+)
+
+FIELDS = ("family", "n", "graph_edges", "final_phase", "phase_bound", "cost", "ok")
+
 
 def test_esst_scaling(benchmark, sim_model):
-    records = run_once(
-        benchmark,
-        experiments.esst_scaling,
-        sizes=(4, 5, 6, 7, 8),
-        family_names=("ring", "path", "erdos_renyi"),
-        model=sim_model,
-    )
-    table = experiments.esst_scaling_table(records)
-    assert all(record.all_edges_traversed for record in records)
-    assert all(record.final_phase <= record.phase_bound for record in records)
-    assert all(record.final_phase > record.n for record in records)
-
-    ring_records = sorted(
-        (r for r in records if r.family == "ring"), key=lambda r: r.n
-    )
-    fit = fit_power_law([r.n for r in ring_records], [r.cost for r in ring_records])
+    result = run_once(benchmark, run_sweep, SWEEP, model=sim_model)
     emit(
         "e4_esst_scaling",
-        table + f"\n\nESST cost on rings grows like n^{fit.slope:.1f} (a polynomial)",
+        result.table(
+            FIELDS,
+            title="E4: Procedure ESST (exploration with a semi-stationary token)",
+        ),
     )
+    assert result.all_ok
+    for record in result:
+        extra = record.extra_dict
+        assert extra["final_phase"] <= extra["phase_bound"]
+        assert extra["final_phase"] > record.graph_size
+
+    ring_records = sorted(result.filter(family="ring"), key=lambda r: r.graph_size)
+    fit = fit_power_law(
+        [r.graph_size for r in ring_records], [r.cost for r in ring_records]
+    )
+    print(f"\nESST cost on rings grows like n^{fit.slope:.1f} (a polynomial)")
     assert fit.slope < 12  # comfortably polynomial

@@ -5,43 +5,80 @@ RV-asynch-poly and of the naive exponential baseline under the
 delay-until-stop adversary, and tabulates the worst-case guarantees next to
 the measurements: the baseline's guarantee grows exponentially in ``L``, the
 paper's bound ``Π(n, |L|)`` only polynomially in the *length* of ``L``.
+
+The benchmark drives the scenario runtime directly: the label sweep is a
+:class:`~repro.runtime.spec.SweepSpec` executed with
+:func:`~repro.runtime.executors.run_sweep`, so it can opt into a result
+store (``run_sweep(..., store=...)``) exactly like the experiment drivers.
 """
 
 from __future__ import annotations
 
-from repro.analysis import experiments
 from repro.analysis.fitting import classify_growth
+from repro.analysis.tables import format_table
+from repro.runtime import SweepSpec
+from repro.runtime.executors import run_sweep
 
 from ._harness import emit, run_once
 
+SMALL_LABELS = (1, 2, 4, 8, 16, 32, 64)
+
+SWEEP = SweepSpec(
+    problems=("rendezvous", "baseline"),
+    families=("ring",),
+    sizes=(6,),
+    schedulers=("delay_until_stop",),
+    label_sets=tuple((label, label + 1) for label in SMALL_LABELS),
+    max_traversals=1_000_000,
+    name="e2-rendezvous-vs-label",
+)
+
+
+def _guaranteed_bound(record, model):
+    """Π(n, |L|) for RV-asynch-poly, the full trajectory length for the baseline."""
+    label = record.spec.labels[0]
+    if record.problem == "rendezvous":
+        return model.pi_bound(record.graph_size, label.bit_length())
+    return model.baseline_trajectory_length(record.graph_size, label)
+
 
 def test_rendezvous_vs_label(benchmark, sim_model):
-    records = run_once(
-        benchmark,
-        experiments.rendezvous_vs_label,
-        small_labels=(1, 2, 4, 8, 16, 32, 64),
-        n=6,
-        scheduler_name="delay_until_stop",
-        model=sim_model,
-        max_traversals=1_000_000,
-    )
-    table = experiments.rendezvous_vs_label_table(records)
-    assert all(record.met for record in records)
+    result = run_once(benchmark, run_sweep, SWEEP, model=sim_model)
+    assert result.all_ok
 
-    baseline = sorted(
-        (r for r in records if r.algorithm == "baseline"), key=lambda r: r.label_small
+    rows = []
+    bounds = {}
+    for record in result:
+        label = record.spec.labels[0]
+        bound = _guaranteed_bound(record, sim_model)
+        bounds.setdefault(record.problem, []).append((label, bound))
+        rows.append(
+            [
+                label,
+                label.bit_length(),
+                record.problem,
+                "yes" if record.ok else "no",
+                record.cost,
+                bound,
+            ]
+        )
+    table = format_table(
+        ["label_small", "label_length", "algorithm", "met", "measured_cost", "guaranteed_bound"],
+        rows,
+        title="E2: cost vs label (measured under the delay-until-stop adversary, plus guarantees)",
     )
-    rv = sorted(
-        (r for r in records if r.algorithm == "rv_asynch_poly"),
-        key=lambda r: r.label_small,
-    )
-    labels = [r.label_small for r in baseline]
-    baseline_growth = classify_growth(labels, [r.guaranteed_bound for r in baseline])
-    rv_growth = classify_growth(labels, [r.guaranteed_bound for r in rv])
+
+    growth = {
+        problem: classify_growth(
+            [label for label, _ in sorted(pairs)], [bound for _, bound in sorted(pairs)]
+        )
+        for problem, pairs in bounds.items()
+    }
     emit(
         "e2_rendezvous_vs_label",
         table
-        + f"\n\nguarantee growth in the label: baseline={baseline_growth}, rv={rv_growth}",
+        + f"\n\nguarantee growth in the label: baseline={growth['baseline']}, "
+        f"rv={growth['rendezvous']}",
     )
-    assert baseline_growth == "exponential"
-    assert rv_growth == "polynomial"
+    assert growth["baseline"] == "exponential"
+    assert growth["rendezvous"] == "polynomial"

@@ -4,51 +4,62 @@ Measures the total cost (edge traversals by all agents until every agent has
 output the full label set) as the graph and the team grow, and checks that
 every output is correct — which immediately gives team size, leader election,
 perfect renaming and gossiping.
+
+Both benchmarks run through the scenario runtime: the scaling grid is an
+explicit cell list (team sizes that exceed the built graph are skipped) and
+the gossiping instance is a single declarative
+:class:`~repro.runtime.spec.ScenarioSpec` carrying per-member ``values`` —
+the gossip answers come back in the record's ``value_maps`` extra.
 """
 
 from __future__ import annotations
 
-from repro.analysis import experiments
-from repro.graphs import families
-from repro.teams import TeamMember, solve_gossiping
+from repro.analysis.experiments import team_scaling_cells
+from repro.runtime import ScenarioSpec
+from repro.runtime.executors import run_sweep
+from repro.runtime.runner import run
 
 from ._harness import emit, run_once
 
+FIELDS = ("family", "n", "team_size", "scheduler", "ok", "cost", "reason")
+
 
 def test_team_scaling(benchmark, sim_model):
-    records = run_once(
-        benchmark,
-        experiments.team_scaling,
-        sizes=(4, 5, 6),
-        team_sizes=(2, 3),
-        family="ring",
-        model=sim_model,
-        max_traversals=8_000_000,
+    cells = team_scaling_cells(sizes=(4, 5, 6), team_sizes=(2, 3), max_traversals=8_000_000)
+    result = run_once(benchmark, run_sweep, cells, model=sim_model)
+    emit(
+        "e6_team_scaling",
+        result.table(
+            FIELDS,
+            title="E6: Algorithm SGL / team problems "
+            "(team size, leader election, renaming, gossiping)",
+        ),
     )
-    emit("e6_team_scaling", experiments.team_scaling_table(records))
-    assert all(record.correct for record in records)
-    costs_by_n = {}
-    for record in records:
-        costs_by_n.setdefault(record.team_size, []).append((record.n, record.cost))
+    assert result.all_ok
 
 
 def test_gossiping_on_a_random_graph(benchmark, sim_model):
-    graph = families.random_connected(6, 0.4, rng_seed=5)
-    members = [
-        TeamMember(9, 0, value="inventory-A"),
-        TeamMember(4, 2, value="inventory-B"),
-        TeamMember(17, 4, value="inventory-C"),
-    ]
-
-    def runner():
-        return solve_gossiping(
-            graph, members, model=sim_model, max_traversals=8_000_000
-        )
-
-    answers, outcome = run_once(benchmark, runner)
+    # The registered erdos_renyi family is random_connected(n, 0.4, seed).
+    spec = ScenarioSpec(
+        problem="teams",
+        family="erdos_renyi",
+        size=6,
+        seed=5,
+        labels=(9, 4, 17),
+        starts=(0, 2, 4),
+        values=("inventory-A", "inventory-B", "inventory-C"),
+        max_traversals=8_000_000,
+        name="e6-gossiping",
+    )
+    record = run_once(benchmark, run, spec, model=sim_model)
     emit(
         "e6_gossiping_random_graph",
-        f"gossiping on {graph.name}: correct={outcome.correct}, cost={outcome.cost}",
+        f"gossiping on {record.graph_name}: correct={record.ok}, cost={record.cost}",
     )
-    assert outcome.correct
-    assert answers[9] == {9: "inventory-A", 4: "inventory-B", 17: "inventory-C"}
+    assert record.ok
+    # Every agent gossips the full label -> value mapping (keys are
+    # canonicalised to strings so records survive a JSON round trip).
+    expected = {"9": "inventory-A", "4": "inventory-B", "17": "inventory-C"}
+    value_maps = record.extra_dict["value_maps"]
+    assert value_maps["9"] == expected
+    assert all(mapping == expected for mapping in value_maps.values())

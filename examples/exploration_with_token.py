@@ -9,8 +9,11 @@ graph with exploration walks of growing parameter, until one phase proves that
 it has seen everything; the final phase index is then a certified upper bound
 on the size of the network — the fact Algorithm SGL later relies on.
 
-The example runs ESST on three different networks and shows the cost, the
-certified size bound, and the coverage check of Theorem 2.1.
+Each run is one declarative :class:`~repro.runtime.spec.ScenarioSpec` — note
+the third one, whose token sits strictly *inside* an edge (``token_edge`` +
+``token_fraction``); the agent spots it while traversing that edge.  Being
+specs, all three scenarios could be saved as JSON, replayed with ``repro run
+--spec``, or cached in a result store.
 
 Run with::
 
@@ -19,33 +22,45 @@ Run with::
 
 from __future__ import annotations
 
-from fractions import Fraction
+from repro.runtime import ScenarioSpec
+from repro.runtime.runner import run
 
-from repro.exploration.cost_model import SimulationCostModel
-from repro.exploration.esst import run_esst
-from repro.graphs import families
-from repro.sim.position import Position
+SCENARIOS = [
+    ScenarioSpec(problem="esst", family="ring", size=6, token_node=3),
+    ScenarioSpec(problem="esst", family="binary_tree", size=7, token_node=6),
+    # The token may sit strictly inside an edge of this random network.
+    ScenarioSpec(
+        problem="esst",
+        family="erdos_renyi",
+        size=6,
+        seed=7,
+        token_edge=(0, 2),
+        token_fraction="1/3",
+    ),
+]
 
 
-def explore(graph, start, token, model):
-    result = run_esst(graph, start, token, model)
-    print(f"{graph.name:>22}:  "
-          f"cost = {result.traversals:>8,} traversals,  "
-          f"final phase = {result.final_phase:>3} "
-          f"(so size <= {result.final_phase - 1}, bound 9n+3 = {9 * graph.size + 3}),  "
-          f"all {graph.num_edges} edges traversed: {result.all_edges_traversed}")
+def explore(spec: ScenarioSpec) -> None:
+    record = run(spec)
+    extra = record.extra_dict
+    token = (
+        f"node {extra['token_node']}"
+        if extra["token_node"] is not None
+        else f"edge {tuple(extra['token_edge'])} at {extra['token_fraction']}"
+    )
+    print(
+        f"{record.graph_name:>22}:  "
+        f"cost = {record.cost:>8,} traversals,  "
+        f"final phase = {extra['final_phase']:>3} "
+        f"(so size <= {extra['final_phase'] - 1}, bound 9n+3 = {extra['phase_bound']}),  "
+        f"all {record.graph_edges} edges traversed: {record.ok},  token at {token}"
+    )
 
 
 def main() -> None:
-    model = SimulationCostModel()
     print("Procedure ESST — exploration with a semi-stationary token (Theorem 2.1)\n")
-    explore(families.ring(6), 0, Position.at_node(3), model)
-    explore(families.binary_tree(7), 0, Position.at_node(6), model)
-    # The token may sit strictly inside an edge; the agent spots it while
-    # traversing that edge.
-    graph = families.random_connected(6, 0.4, rng_seed=7)
-    edge = sorted(graph.edges())[0]
-    explore(graph, max(graph.nodes()), Position.on_edge(edge, Fraction(1, 3)), model)
+    for spec in SCENARIOS:
+        explore(spec)
     print("\nThe certified size bound (final phase) is what an SGL explorer uses to")
     print("size its remaining work without ever being told how big the network is.")
 

@@ -10,9 +10,12 @@ order to coordinate a maintenance task.  Before they can coordinate they must
 * adopt short pairwise-distinct identifiers     (perfect renaming),
 * pool the inventory data each one collected    (gossiping).
 
-All four reduce to Strong Global Learning (Algorithm SGL), which this example
-runs for a team of four agents on a random network, one of them initially
-dormant (it is woken up when a teammate walks over its start node).
+All four reduce to Strong Global Learning (Algorithm SGL).  The whole
+mission is one declarative :class:`~repro.runtime.spec.ScenarioSpec`: the
+inventory every agent carries travels in the spec's ``values`` (mappings are
+frozen to sorted pair tuples so the spec stays hashable), and agent 15
+starts ``dormant`` — it is woken when a teammate walks over its start node.
+The gossiped inventories come back in the record's ``value_maps`` extra.
 
 Run with::
 
@@ -21,50 +24,59 @@ Run with::
 
 from __future__ import annotations
 
-from repro.exploration.cost_model import SimulationCostModel
-from repro.graphs import families
-from repro.sim import RandomScheduler
-from repro.teams import TeamMember, run_sgl
+from repro.runtime import ScenarioSpec
+from repro.runtime.runner import run
+
+SPEC = ScenarioSpec(
+    problem="teams",
+    family="erdos_renyi",  # random_connected(n, 0.4, seed)
+    size=7,
+    seed=11,
+    labels=(23, 8, 41, 15),
+    starts=(0, 2, 4, 6),
+    values=(
+        {"router": 0, "firmware": "v2.1"},
+        {"router": 2, "firmware": "v2.3"},
+        {"router": 4, "firmware": "v1.9"},
+        {"router": 6, "firmware": "v2.3"},
+    ),
+    dormant=(3,),  # agent 15 sleeps until a teammate reaches router 6
+    scheduler="random",
+    scheduler_params={"seed": 3},
+    max_traversals=8_000_000,
+    name="network-maintenance",
+)
 
 
 def main() -> None:
-    graph = families.random_connected(7, 0.35, rng_seed=11)
-    model = SimulationCostModel()
-    team = [
-        TeamMember(label=23, start_node=0, value={"router": 0, "firmware": "v2.1"}),
-        TeamMember(label=8, start_node=2, value={"router": 2, "firmware": "v2.3"}),
-        TeamMember(label=41, start_node=4, value={"router": 4, "firmware": "v1.9"}),
-        TeamMember(label=15, start_node=6, value={"router": 6, "firmware": "v2.3"},
-                   dormant=True),
-    ]
+    record = run(SPEC)
+    extra = record.extra_dict
 
-    print(f"network: {graph.name} ({graph.size} routers, {graph.num_edges} links)")
-    print(f"team:    labels {sorted(member.label for member in team)}; "
-          f"agent 15 starts dormant")
-    print()
-
-    outcome = run_sgl(
-        graph,
-        team,
-        scheduler=RandomScheduler(seed=3),
-        model=model,
-        max_traversals=8_000_000,
+    print(
+        f"network: {record.graph_name} "
+        f"({record.graph_size} routers, {record.graph_edges} links)"
     )
-
-    print(f"every agent produced an output: {outcome.all_output}")
-    print(f"outputs correct:                {outcome.correct}")
-    print(f"total cost:                     {outcome.cost:,} edge traversals")
+    print(
+        f"team:    labels {sorted(SPEC.labels)}; "
+        f"agent {SPEC.labels[SPEC.dormant[0]]} starts dormant"
+    )
     print()
 
-    labels = outcome.expected_labels
+    print(f"every agent produced an output: {extra['all_output']}")
+    print(f"outputs correct:                {record.ok}")
+    print(f"total cost:                     {record.cost:,} edge traversals")
+    print()
+
+    labels = list(extra["team_labels"])
     print("derived answers (identical at every agent):")
     print(f"  team size:        {len(labels)}")
-    print(f"  leader:           agent {min(labels)}")
+    print(f"  leader:           agent {extra['leader']}")
     renaming = {label: rank + 1 for rank, label in enumerate(labels)}
     print(f"  perfect renaming: {renaming}")
     print("  gossiping (inventory collected by the leader):")
-    for label, value in sorted(outcome.value_maps[min(labels)].items()):
-        print(f"    agent {label}: {value}")
+    leader_view = extra["value_maps"][str(extra["leader"])]
+    for label, value in sorted(leader_view.items(), key=lambda kv: int(kv[0])):
+        print(f"    agent {label}: {dict(value)}")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,11 @@ label.
 
 This example evaluates both guarantees on a grid of sizes and labels, fits
 their growth, and prints where the crossover lies.  Everything here is exact
-arithmetic on the bound recurrences of §3.2 — no simulation involved.
+arithmetic on the bound recurrences of §3.2 — no simulation involved — yet
+the grid runs through the scenario runtime like everything else: each
+(n, L) pair is a cell of the ``"bounds"`` problem kind, executed with
+``run_sweep`` against an in-memory result store, so re-aggregating the grid
+a second time executes zero cells.
 
 Run with::
 
@@ -20,8 +24,25 @@ from __future__ import annotations
 
 from repro.analysis.fitting import classify_growth, fit_power_law
 from repro.analysis.tables import format_table
-from repro.core.bounds import compare_bounds
-from repro.exploration.cost_model import PaperCostModel
+from repro.runtime import ScenarioSpec
+from repro.runtime.executors import run_sweep
+from repro.store import MemoryStore
+
+SIZES = (4, 8, 16)
+LABELS = (1, 4, 16, 64, 256)
+
+CELLS = [
+    ScenarioSpec(
+        problem="bounds",
+        family="path",  # any family of exactly n nodes; only the size matters
+        size=n,
+        labels=(label, label + 1),
+        cost_model="paper",
+        name="polynomial-vs-exponential",
+    )
+    for n in SIZES
+    for label in LABELS
+]
 
 
 def _magnitude(value: int) -> str:
@@ -32,35 +53,54 @@ def _magnitude(value: int) -> str:
 
 
 def main() -> None:
-    model = PaperCostModel()
-    sizes = (4, 8, 16)
-    labels = (1, 4, 16, 64, 256)
-    comparisons = compare_bounds(sizes, labels, model)
+    store = MemoryStore()
+    result = run_sweep(CELLS, store=store)
 
-    rows = [
-        [c.n, c.label, c.label_length, _magnitude(c.rv_bound), _magnitude(c.baseline_bound),
-         "RV" if c.rv_bound < c.baseline_bound else "baseline"]
-        for c in comparisons
-    ]
+    rows = []
+    for record in result:
+        extra = record.extra_dict
+        rows.append(
+            [
+                record.graph_size,
+                extra["label_small"],
+                extra["label_length"],
+                _magnitude(extra["rv_bound"]),
+                _magnitude(extra["baseline_bound"]),
+                "RV" if extra["rv_bound"] < extra["baseline_bound"] else "baseline",
+            ]
+        )
     print(format_table(
         ["n", "label L", "|L|", "Pi(n, |L|)", "baseline bound", "smaller guarantee"],
         rows,
         title="Worst-case rendezvous guarantees (Theorem 3.1 vs the exponential baseline)",
     ))
 
-    at_largest_n = [c for c in comparisons if c.n == max(sizes)]
-    label_values = [c.label for c in at_largest_n]
+    at_largest_n = [r for r in result if r.graph_size == max(SIZES)]
+    label_values = [r.extra_dict["label_small"] for r in at_largest_n]
     print()
-    print("growth in the label at n = %d:" % max(sizes))
-    print("  RV-asynch-poly: %s" % classify_growth(label_values, [c.rv_bound for c in at_largest_n]))
-    print("  baseline:       %s" % classify_growth(label_values, [c.baseline_bound for c in at_largest_n]))
+    print("growth in the label at n = %d:" % max(SIZES))
+    print("  RV-asynch-poly: %s"
+          % classify_growth(label_values, [r.extra_dict["rv_bound"] for r in at_largest_n]))
+    print("  baseline:       %s"
+          % classify_growth(label_values, [r.extra_dict["baseline_bound"] for r in at_largest_n]))
 
     at_smallest_label = sorted(
-        (c for c in comparisons if c.label == labels[0]), key=lambda c: c.n
+        (r for r in result if r.extra_dict["label_small"] == LABELS[0]),
+        key=lambda r: r.graph_size,
     )
-    fit = fit_power_law([c.n for c in at_smallest_label], [c.rv_bound for c in at_smallest_label])
-    print(f"\ngrowth of Π in the size (L = {labels[0]}): ~ n^{fit.slope:.1f} — a fixed-degree polynomial,")
+    fit = fit_power_law(
+        [r.graph_size for r in at_smallest_label],
+        [r.extra_dict["rv_bound"] for r in at_smallest_label],
+    )
+    print(f"\ngrowth of Π in the size (L = {LABELS[0]}): ~ n^{fit.slope:.1f} — a fixed-degree polynomial,")
     print("whereas the baseline guarantee is multiplied by (2P(n)+1) for every extra unit of L.")
+
+    again = run_sweep(CELLS, store=store)
+    print(
+        f"\n(re-aggregating through the result store: "
+        f"{again.cache_hits}/{len(again)} cells served from cache, "
+        f"{again.executed} executed)"
+    )
 
 
 if __name__ == "__main__":

@@ -16,12 +16,20 @@ the sweep is not rectangular), executes it through
 :class:`~repro.runtime.records.RunRecord` stream into its historical record
 dataclass.  Cell enumeration mirrors the original loop nests, so tables are
 reproduced bit for bit for the same seeds.
+
+Every simulation-backed driver accepts a ``store`` (any
+:class:`~repro.store.base.ResultStore`): cells already stored are served
+without execution and fresh cells are persisted, so regenerating a table is
+free once its sweep has run anywhere (``repro experiment e1 --store DIR``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..store.base import ResultStore
 
 from ..core.bounds import compare_bounds
 from ..core.trajectories import trajectory_structure
@@ -57,6 +65,7 @@ __all__ = [
     "adversary_ablation",
     "adversary_ablation_table",
     "TeamRecord",
+    "team_scaling_cells",
     "team_scaling",
     "team_scaling_table",
 ]
@@ -186,6 +195,7 @@ def rendezvous_vs_size(
     max_traversals: int = 2_000_000,
     seed: int = 0,
     executor: Optional[Executor] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[RendezvousScalingRecord]:
     """Measure cost-to-meeting versus graph size (Theorem 3.1, experiment E1)."""
     model = model if model is not None else default_cost_model()
@@ -199,7 +209,7 @@ def rendezvous_vs_size(
         max_traversals=max_traversals,
         name="e1-rendezvous-vs-size",
     )
-    result = run_sweep(sweep, executor=executor, model=model)
+    result = run_sweep(sweep, executor=executor, model=model, store=store)
     return [
         RendezvousScalingRecord(
             family=record.family,
@@ -249,6 +259,7 @@ def rendezvous_vs_label(
     bound_model: Optional[CostModel] = None,
     max_traversals: int = 2_000_000,
     executor: Optional[Executor] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[LabelScalingRecord]:
     """Measure and bound cost as a function of the (smaller) label (experiment E2).
 
@@ -268,7 +279,7 @@ def rendezvous_vs_label(
         max_traversals=max_traversals,
         name="e2-rendezvous-vs-label",
     )
-    result = run_sweep(sweep, executor=executor, model=model)
+    result = run_sweep(sweep, executor=executor, model=model, store=store)
     records: List[LabelScalingRecord] = []
     for record in result:
         label = record.spec.labels[0]
@@ -400,6 +411,7 @@ def esst_scaling(
     model: Optional[CostModel] = None,
     seed: int = 0,
     executor: Optional[Executor] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[ESSTRecord]:
     """Measure Procedure ESST cost and termination phase versus graph size (E4)."""
     model = model if model is not None else default_cost_model()
@@ -410,7 +422,7 @@ def esst_scaling(
         seeds=(seed,),
         name="e4-esst-scaling",
     )
-    result = run_sweep(sweep, executor=executor, model=model)
+    result = run_sweep(sweep, executor=executor, model=model, store=store)
     return [
         ESSTRecord(
             family=record.family,
@@ -459,6 +471,7 @@ def adversary_ablation(
     max_traversals: int = 2_000_000,
     seed: int = 0,
     executor: Optional[Executor] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[AdversaryRecord]:
     """Compare adversaries, including a patience sweep for the avoiding one (E5).
 
@@ -483,7 +496,7 @@ def adversary_ablation(
         )
         for scheduler_name, patience in pairs
     ]
-    result = run_sweep(cells, executor=executor, model=model)
+    result = run_sweep(cells, executor=executor, model=model, store=store)
     return [
         AdversaryRecord(
             scheduler=scheduler_name,
@@ -523,22 +536,17 @@ class TeamRecord:
     reason: str
 
 
-def team_scaling(
+def team_scaling_cells(
     sizes: Sequence[int] = (5, 6),
     team_sizes: Sequence[int] = (2, 3),
     family: str = "ring",
     scheduler_name: str = "round_robin",
-    model: Optional[CostModel] = None,
     max_traversals: int = 6_000_000,
     seed: int = 0,
-    executor: Optional[Executor] = None,
-) -> List[TeamRecord]:
-    """Measure Algorithm SGL (hence all four §4 problems) versus n and k (E6).
-
-    Enumerates explicit cells (not a rectangular grid) because team sizes
-    that exceed the actual graph size are skipped.
-    """
-    model = model if model is not None else default_cost_model()
+) -> List[ScenarioSpec]:
+    """The E6 grid as explicit cells (not rectangular: team sizes that
+    exceed the actually built graph are skipped).  Shared by the experiment
+    driver and the E6 benchmark so the skip rule lives in one place."""
     cells: List[ScenarioSpec] = []
     for n in sizes:
         graph_size = named_family(family, n, rng_seed=seed).size
@@ -557,7 +565,31 @@ def team_scaling(
                     name="e6-team-scaling",
                 )
             )
-    result = run_sweep(cells, executor=executor, model=model)
+    return cells
+
+
+def team_scaling(
+    sizes: Sequence[int] = (5, 6),
+    team_sizes: Sequence[int] = (2, 3),
+    family: str = "ring",
+    scheduler_name: str = "round_robin",
+    model: Optional[CostModel] = None,
+    max_traversals: int = 6_000_000,
+    seed: int = 0,
+    executor: Optional[Executor] = None,
+    store: Optional["ResultStore"] = None,
+) -> List[TeamRecord]:
+    """Measure Algorithm SGL (hence all four §4 problems) versus n and k (E6)."""
+    model = model if model is not None else default_cost_model()
+    cells = team_scaling_cells(
+        sizes=sizes,
+        team_sizes=team_sizes,
+        family=family,
+        scheduler_name=scheduler_name,
+        max_traversals=max_traversals,
+        seed=seed,
+    )
+    result = run_sweep(cells, executor=executor, model=model, store=store)
     return [
         TeamRecord(
             family=record.family,

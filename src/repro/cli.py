@@ -22,6 +22,19 @@ Sweep a grid of scenarios over two worker processes::
     repro sweep --family ring --sizes 4 8 12 --schedulers round_robin avoider \
         --seeds 3 --jobs 2
 
+Sweep against the content-addressed result store (the second invocation
+serves every cell from the store and executes nothing; an interrupted sweep
+resumes where it stopped)::
+
+    repro sweep --sizes 4 8 12 --seeds 3 --store .repro-store
+    repro sweep --sizes 4 8 12 --seeds 3 --store .repro-store
+
+Inspect and maintain a store::
+
+    repro store ls
+    repro store show 3fa9c1
+    repro store gc
+
 Run Procedure ESST on a random graph::
 
     repro esst --family erdos_renyi --size 7
@@ -45,6 +58,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis import experiments
+from .analysis.tables import format_table
 from .exceptions import ReproError
 from .runtime import (
     GRAPH_FAMILIES,
@@ -56,6 +70,7 @@ from .runtime import (
 )
 from .runtime.executors import make_executor, run_sweep
 from .runtime.runner import run
+from .store import DEFAULT_STORE_DIR, FileStore
 
 __all__ = ["main", "build_parser"]
 
@@ -206,6 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
+    sweep.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist results in (and serve cached cells from) the result store at DIR",
+    )
+    sweep.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve cells already in the store without executing them (default: on)",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the experiment tables (EXPERIMENTS.md)"
@@ -215,6 +242,39 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["f1", "e1", "e2", "e3", "e4", "e5", "e6"],
         help="experiment identifier",
     )
+    experiment.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result store for the simulation-backed experiments (e1/e2/e4/e5/e6)",
+    )
+
+    store_cmd = subparsers.add_parser(
+        "store", help="inspect and maintain a content-addressed result store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+
+    def add_store_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            metavar="DIR",
+            default=DEFAULT_STORE_DIR,
+            help=f"store directory (default: {DEFAULT_STORE_DIR})",
+        )
+
+    store_ls = store_sub.add_parser("ls", help="list the stored run records")
+    add_store_dir(store_ls)
+    store_ls.add_argument("--problem", default=None, help="filter by problem kind")
+    store_ls.add_argument("--family", default=None, help="filter by graph family")
+
+    store_show = store_sub.add_parser("show", help="print one stored record as JSON")
+    add_store_dir(store_show)
+    store_show.add_argument("key", help="spec key (any unambiguous prefix)")
+
+    store_gc = store_sub.add_parser(
+        "gc", help="compact the store: drop corrupt/duplicate lines, rewrite the index"
+    )
+    add_store_dir(store_gc)
     return parser
 
 
@@ -242,7 +302,14 @@ def _print_rendezvous(record: RunRecord) -> None:
 def _print_esst(record: RunRecord) -> None:
     extra = record.extra_dict
     _print_graph_line(record)
-    print(f"token at node {extra['token_node']}, agent starts at node {extra['start']}")
+    if extra["token_node"] is not None:
+        token = f"at node {extra['token_node']}"
+    else:
+        token = (
+            f"inside edge {tuple(extra['token_edge'])} "
+            f"at fraction {extra['token_fraction']}"
+        )
+    print(f"token {token}, agent starts at node {extra['start']}")
     print(
         f"ESST finished in phase {extra['final_phase']} "
         f"(bound 9n+3 = {extra['phase_bound']}) after {record.cost} edge traversals"
@@ -353,17 +420,24 @@ def _run_sweep(args: argparse.Namespace) -> int:
         )
     total = len(sweep)
 
-    def progress(done: int, _total: int, record: RunRecord) -> None:
+    def progress(done: int, _total: int, record: RunRecord, cached: bool) -> None:
         if not args.quiet:
-            status = "ok " if record.ok else "FAIL"
+            status = ("hit " if cached else "ok  ") if record.ok else "FAIL"
             print(
                 f"[{done}/{total}] {status} {record.problem} {record.family} "
                 f"n={record.graph_size} seed={record.seed} "
                 f"scheduler={record.scheduler} cost={record.cost}"
             )
 
+    store = None if args.store is None else FileStore(args.store)
     executor = make_executor(args.jobs)
-    result = run_sweep(sweep, executor=executor, progress=progress)
+    try:
+        result = run_sweep(
+            sweep, executor=executor, progress=progress, store=store, resume=args.resume
+        )
+    finally:
+        if store is not None:
+            store.close()
     print()
     print(result.table(title=f"sweep: {total} cells, jobs={args.jobs}"))
     print()
@@ -371,6 +445,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
         f"ok: {sum(1 for record in result if record.ok)}/{len(result)}  "
         f"max cost: {result.max_cost()}  mean cost: {result.mean_cost():.1f}"
     )
+    if store is not None:
+        print(
+            f"store {args.store}: cached {result.cache_hits}/{total}, "
+            f"executed {result.executed}"
+        )
     if args.json is not None:
         Path(args.json).write_text(result.to_json() + "\n", encoding="utf-8")
         print(f"wrote SweepResult JSON to {args.json}")
@@ -379,21 +458,111 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 def _run_experiment(args: argparse.Namespace) -> int:
     name = args.name
-    if name == "f1":
-        print(experiments.figure_structures_table(experiments.figure_structures()))
-    elif name == "e1":
-        print(experiments.rendezvous_vs_size_table(experiments.rendezvous_vs_size()))
-    elif name == "e2":
-        print(experiments.rendezvous_vs_label_table(experiments.rendezvous_vs_label()))
-    elif name == "e3":
-        print(experiments.bound_scaling_table(experiments.bound_scaling()))
-    elif name == "e4":
-        print(experiments.esst_scaling_table(experiments.esst_scaling()))
-    elif name == "e5":
-        print(experiments.adversary_ablation_table(experiments.adversary_ablation()))
-    elif name == "e6":
-        print(experiments.team_scaling_table(experiments.team_scaling()))
+    store = None if args.store is None else FileStore(args.store)
+    sweep_kwargs = {} if store is None else {"store": store}
+    try:
+        if name == "f1":
+            print(experiments.figure_structures_table(experiments.figure_structures()))
+        elif name == "e1":
+            print(
+                experiments.rendezvous_vs_size_table(
+                    experiments.rendezvous_vs_size(**sweep_kwargs)
+                )
+            )
+        elif name == "e2":
+            print(
+                experiments.rendezvous_vs_label_table(
+                    experiments.rendezvous_vs_label(**sweep_kwargs)
+                )
+            )
+        elif name == "e3":
+            print(experiments.bound_scaling_table(experiments.bound_scaling()))
+        elif name == "e4":
+            print(experiments.esst_scaling_table(experiments.esst_scaling(**sweep_kwargs)))
+        elif name == "e5":
+            print(
+                experiments.adversary_ablation_table(
+                    experiments.adversary_ablation(**sweep_kwargs)
+                )
+            )
+        elif name == "e6":
+            print(experiments.team_scaling_table(experiments.team_scaling(**sweep_kwargs)))
+    finally:
+        if store is not None:
+            store.close()
     return 0
+
+
+# ----------------------------------------------------------------------
+# store maintenance
+# ----------------------------------------------------------------------
+def _run_store(args: argparse.Namespace) -> int:
+    # gc opens tolerantly: its whole point is repairing a damaged store.
+    salvage = args.store_command == "gc"
+    with FileStore(args.store, create=False, salvage=salvage) as store:
+        if args.store_command == "ls":
+            matches = {}
+            if args.problem is not None:
+                matches["problem"] = args.problem
+            if args.family is not None:
+                matches["family"] = args.family
+            result = store.query(**matches)
+            rows = [
+                [
+                    record.spec.key()[:12],
+                    record.problem,
+                    record.family,
+                    record.graph_size,
+                    record.seed,
+                    record.scheduler,
+                    "yes" if record.ok else "no",
+                    record.cost,
+                ]
+                for record in result
+            ]
+            stats = store.stats()
+            print(
+                format_table(
+                    ["key", "problem", "family", "n", "seed", "scheduler", "ok", "cost"],
+                    rows,
+                    title=f"result store {args.store}",
+                )
+            )
+            print()
+            print(
+                f"{stats['records']} records in {stats['shards']} shards "
+                f"({stats['bytes']:,} bytes)"
+            )
+            return 0
+        if args.store_command == "show":
+            hits = [key for key in store.keys() if key.startswith(args.key)]
+            if len(hits) > 1:
+                print(
+                    f"error: key prefix {args.key!r} is ambiguous "
+                    f"({len(hits)} matches):",
+                    file=sys.stderr,
+                )
+                for key in sorted(hits):
+                    print(f"  {key}", file=sys.stderr)
+                return 1
+            # An indexed key may still miss if its shard record was lost
+            # (the index is a recoverable cache; shards are the truth).
+            record = store.get(hits[0]) if hits else None
+            if record is None:
+                print(f"error: no stored record matches key prefix {args.key!r}", file=sys.stderr)
+                return 1
+            print(record.to_json())
+            return 0
+        if args.store_command == "gc":
+            report = store.gc()
+            print(
+                f"gc {args.store}: kept {report['kept']} records, "
+                f"dropped {report['dropped_corrupt']} corrupt and "
+                f"{report['dropped_duplicate']} duplicate lines, "
+                f"reclaimed {report['reclaimed_bytes']:,} bytes"
+            )
+            return 0
+    return 2  # pragma: no cover (argparse enforces the sub-command)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -407,6 +576,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _run_spec_file,
         "sweep": _run_sweep,
         "experiment": _run_experiment,
+        "store": _run_store,
     }
     handler = handlers.get(args.command)
     if handler is None:

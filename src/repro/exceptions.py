@@ -48,6 +48,19 @@ class CostLimitExceeded(SimulationError):
         self.partial_result = partial_result
 
 
+class StoreError(ReproError):
+    """A result store operation failed (missing store, format mismatch, ...)."""
+
+
+class StoreCorruptionError(StoreError):
+    """A result-store shard holds data that cannot be decoded.
+
+    A truncated *final* line (the in-flight cell of a killed sweep) is
+    tolerated and dropped; anything else malformed raises this error so that
+    silent data loss never masquerades as a cache miss.
+    """
+
+
 class ExplorationError(ReproError):
     """An exploration procedure (UXS walk, ESST) failed or was misused."""
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from .records import RunRecord, SweepResult
 from .registry import COST_MODELS, GRAPH_FAMILIES, PROBLEMS, SCHEDULERS, Registry
-from .spec import ScenarioSpec, SweepSpec
+from .spec import SPEC_KEY_VERSION, ScenarioSpec, SweepSpec, spec_key
 
 __all__ = [
     "Registry",
@@ -46,6 +46,8 @@ __all__ = [
     "COST_MODELS",
     "ScenarioSpec",
     "SweepSpec",
+    "spec_key",
+    "SPEC_KEY_VERSION",
     "RunRecord",
     "SweepResult",
     # lazily loaded:

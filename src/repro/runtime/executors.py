@@ -11,18 +11,30 @@ of :class:`~repro.runtime.spec.ScenarioSpec`) into a
   the records are identical to a serial run — only the wall-clock changes.
 
 Both backends preserve cell order and call an optional progress callback
-``progress(done, total, record)`` as records arrive.
+``progress(done, total, record)`` as records arrive; a callback declaring a
+fourth parameter additionally receives ``cached`` — whether the record was
+served from the result store rather than executed.
+
+``run_sweep(..., store=..., resume=True)`` integrates the content-addressed
+result store (:mod:`repro.store`): cached cells are served without touching
+the executor, only the missing cells are dispatched, and every fresh record
+is persisted *as it arrives* (not at the end), so a killed sweep loses at
+most its in-flight cells.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable, Iterable, List, Optional, Union
+import inspect
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
 
 from ..exploration.cost_model import CostModel
 from .records import RunRecord, SweepResult
 from .runner import run
 from .spec import ScenarioSpec, SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..store.base import ResultStore
 
 __all__ = [
     "Executor",
@@ -32,7 +44,36 @@ __all__ = [
     "run_sweep",
 ]
 
-ProgressCallback = Callable[[int, int, RunRecord], None]
+#: ``(done, total, record)`` or ``(done, total, record, cached)``.
+ProgressCallback = Callable[..., None]
+
+
+def _progress_notifier(
+    progress: Optional[ProgressCallback],
+) -> Optional[Callable[[int, int, RunRecord, bool], None]]:
+    """Adapt a user callback to the internal 4-argument form.
+
+    Three-parameter callbacks (the historical signature) keep working; a
+    callback with four or more positional parameters (or ``*args``) also
+    gets the ``cached`` flag.
+    """
+    if progress is None:
+        return None
+    try:
+        parameters = inspect.signature(progress).parameters.values()
+        positional = [
+            p
+            for p in parameters
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        wants_cached = len(positional) >= 4 or any(
+            p.kind == p.VAR_POSITIONAL for p in parameters
+        )
+    except (TypeError, ValueError):
+        wants_cached = False
+    if wants_cached:
+        return progress
+    return lambda done, total, record, _cached: progress(done, total, record)
 
 
 class Executor:
@@ -124,6 +165,8 @@ def run_sweep(
     executor: Optional[Executor] = None,
     model: Optional[CostModel] = None,
     progress: Optional[ProgressCallback] = None,
+    store: Optional["ResultStore"] = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Execute every cell of ``sweep`` and collect a :class:`SweepResult`.
 
@@ -131,6 +174,17 @@ def run_sweep(
     iterable of scenarios (for non-rectangular sweeps such as the adversary
     ablation's scheduler/patience pairs).  Records come back in cell order
     regardless of the executor.
+
+    With a ``store`` (any :class:`~repro.store.base.ResultStore`), every
+    fresh record is persisted the moment it completes — under either
+    executor — so an interrupted sweep can be re-issued and will only run
+    the cells it is missing.  ``resume=True`` (the default) serves cells
+    already in the store without executing them; cache hits are reported
+    through the progress callback first (in cell order, with
+    ``cached=True``), then misses as the executor finishes them.  The
+    result's table is byte-identical whether cells were computed or served.
+    ``resume=False`` re-executes everything but still persists (existing
+    keys are left untouched — cells are deterministic in their spec).
     """
     if isinstance(sweep, SweepSpec):
         specs = list(sweep.cells())
@@ -139,5 +193,49 @@ def run_sweep(
         specs = list(sweep)
         sweep_spec = None
     executor = executor if executor is not None else SerialExecutor()
-    records = executor.map_specs(specs, model=model, progress=progress)
-    return SweepResult(records=records, sweep=sweep_spec)
+    notify = _progress_notifier(progress)
+    if store is None:
+        plain = (
+            None
+            if notify is None
+            else lambda done, total, record: notify(done, total, record, False)
+        )
+        records = executor.map_specs(specs, model=model, progress=plain)
+        return SweepResult(records=records, sweep=sweep_spec)
+
+    total = len(specs)
+    slots: List[Optional[RunRecord]] = [None] * total
+    hits = 0
+    if resume:
+        for index, spec in enumerate(specs):
+            cached = store.get(spec.key())
+            if cached is not None:
+                slots[index] = cached
+                hits += 1
+    done = 0
+    for record in slots:
+        if record is not None:
+            done += 1
+            if notify is not None:
+                notify(done, total, record, True)
+    pending = [(index, specs[index]) for index in range(total) if slots[index] is None]
+    progress_state = {"done": done}
+
+    def on_fresh(_completed: int, _pending_total: int, record: RunRecord) -> None:
+        store.put(record)
+        progress_state["done"] += 1
+        if notify is not None:
+            notify(progress_state["done"], total, record, False)
+
+    fresh = executor.map_specs(
+        [spec for _index, spec in pending], model=model, progress=on_fresh
+    )
+    for (index, _spec), record in zip(pending, fresh):
+        slots[index] = record
+    store.flush()
+    return SweepResult(
+        records=[record for record in slots if record is not None],
+        sweep=sweep_spec,
+        cache_hits=hits,
+        executed=len(fresh),
+    )

@@ -47,7 +47,10 @@ class RunRecord:
         size, e.g. ``hypercube``).
     extra:
         Problem-specific values as a sorted tuple of ``(key, value)`` pairs
-        (JSON- and pickle-friendly); see :attr:`extra_dict`.
+        (JSON- and pickle-friendly); see :attr:`extra_dict`.  Values are
+        canonicalised (sequences to tuples, mapping keys to strings) so that
+        a record rebuilt from its JSON form compares equal to the original —
+        the property the content-addressed result store relies on.
     """
 
     spec: ScenarioSpec
@@ -62,11 +65,12 @@ class RunRecord:
 
     def __post_init__(self) -> None:
         if isinstance(self.extra, Mapping):
-            object.__setattr__(
-                self, "extra", tuple(sorted((str(k), v) for k, v in self.extra.items()))
-            )
+            items = sorted((str(k), v) for k, v in self.extra.items())
         else:
-            object.__setattr__(self, "extra", tuple((str(k), v) for k, v in self.extra))
+            items = [(str(k), v) for k, v in self.extra]
+        object.__setattr__(
+            self, "extra", tuple((k, _canonical(v)) for k, v in items)
+        )
 
     # ------------------------------------------------------------------
     # conveniences
@@ -134,6 +138,23 @@ class RunRecord:
         return cls(**payload)
 
 
+def _canonical(value: Any) -> Any:
+    """Normalise an extra value to a JSON-stable shape.
+
+    Lists and tuples both become tuples, sets become sorted tuples, mapping
+    keys become strings (in sorted order) — exactly the shapes that survive a
+    ``to_dict`` / ``from_dict`` round trip unchanged, so stored records
+    compare equal to freshly computed ones.
+    """
+    if isinstance(value, (tuple, list)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_canonical(item) for item in value))
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(item) for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    return value
+
+
 def _jsonable(value: Any) -> Any:
     """Best-effort conversion of extra values to JSON-friendly shapes."""
     if isinstance(value, (tuple, list)):
@@ -151,10 +172,18 @@ _TABLE_FIELDS = ("problem", "family", "n", "seed", "scheduler", "ok", "cost", "d
 
 @dataclass
 class SweepResult:
-    """The records of one sweep, in cell-enumeration order."""
+    """The records of one sweep, in cell-enumeration order.
+
+    When the sweep ran against a result store, ``cache_hits`` counts the
+    cells served from the store and ``executed`` the cells actually run;
+    both are runtime metadata and deliberately excluded from ``to_dict`` —
+    a resumed sweep serialises byte-identically to an uninterrupted one.
+    """
 
     records: List[RunRecord]
     sweep: Optional[SweepSpec] = None
+    cache_hits: int = 0
+    executed: int = 0
 
     def __len__(self) -> int:
         return len(self.records)

@@ -22,15 +22,17 @@ migrated drivers reproduce the historical tables bit for bit):
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Any, Optional
 
 from ..core.baseline import run_baseline_rendezvous
 from ..core.rendezvous import run_rendezvous
+from ..core.trajectories import trajectory_structure
 from ..exceptions import ReproError
 from ..exploration.cost_model import CostModel
 from ..exploration.esst import run_esst
 from ..graphs import families as _families  # noqa: F401  (registers the families)
-from ..graphs.port_graph import PortLabeledGraph
+from ..graphs.port_graph import PortLabeledGraph, edge_key
 from ..sim import schedulers as _schedulers  # noqa: F401  (registers the adversaries)
 from ..sim.position import Position
 from ..sim.schedulers import Scheduler
@@ -159,14 +161,40 @@ PROBLEMS.register("baseline", _meeting_problem(run_baseline_rendezvous))
 def _run_esst_problem(
     spec: ScenarioSpec, graph: PortLabeledGraph, model: CostModel
 ) -> RunRecord:
-    token_node = (
-        spec.token_node if spec.token_node is not None else max(graph.nodes())
-    )
+    extra: dict = {}
+    if spec.token_edge is not None:
+        u, v = spec.token_edge
+        if not graph.has_edge(u, v):
+            raise ReproError(f"token_edge {spec.token_edge} is not an edge of {graph.name}")
+        fraction = (
+            Fraction(spec.token_fraction)
+            if spec.token_fraction is not None
+            else Fraction(1, 2)
+        )
+        # on_edge normalises fractions 0 and 1 back to the endpoint nodes.
+        token = Position.on_edge(edge_key(u, v), fraction)
+        if not token.is_at_node:
+            extra["token_edge"] = spec.token_edge
+            extra["token_fraction"] = f"{fraction.numerator}/{fraction.denominator}"
+    else:
+        token_node = (
+            spec.token_node if spec.token_node is not None else max(graph.nodes())
+        )
+        token = Position.at_node(token_node)
+    extra["token_node"] = token.node if token.is_at_node else None
     if spec.starts is not None:
         start = spec.starts[0]
     else:
-        start = 0 if token_node != 0 else 1
-    result = run_esst(graph, start, Position.at_node(token_node), model)
+        start = 0 if token.node != 0 else 1
+    result = run_esst(graph, start, token, model)
+    extra.update(
+        {
+            "final_phase": result.final_phase,
+            "phase_bound": 9 * graph.size + 3,
+            "start": start,
+            "sightings": result.sightings,
+        }
+    )
     return _record(
         spec,
         graph,
@@ -174,13 +202,7 @@ def _run_esst_problem(
         cost=result.traversals,
         reason="esst",
         decisions=0,
-        extra={
-            "final_phase": result.final_phase,
-            "phase_bound": 9 * graph.size + 3,
-            "token_node": token_node,
-            "start": start,
-            "sightings": result.sightings,
-        },
+        extra=extra,
     )
 
 
@@ -205,9 +227,21 @@ def _run_teams_problem(
             raise ReproError("teams needs one start node per label")
     else:
         starts = [nodes[(index * graph.size) // k] for index in range(k)]
+    if spec.values is not None and len(spec.values) != k:
+        raise ReproError(f"teams needs one value per member, got {len(spec.values)} for {k}")
+    dormant = frozenset(spec.dormant or ())
+    if dormant and max(dormant) >= k:
+        raise ReproError(
+            f"dormant member index {max(dormant)} out of range for a team of {k}"
+        )
     members = [
-        TeamMember(label=label, start_node=start)
-        for label, start in zip(labels, starts)
+        TeamMember(
+            label=label,
+            start_node=start,
+            value=None if spec.values is None else spec.values[index],
+            dormant=index in dormant,
+        )
+        for index, (label, start) in enumerate(zip(labels, starts))
     ]
     outcome = run_sgl(
         graph,
@@ -218,6 +252,15 @@ def _run_teams_problem(
         on_cost_limit=spec.on_cost_limit,
     )
     sorted_labels = tuple(sorted(labels))
+    extra = {
+        "team_labels": sorted_labels,
+        "all_output": outcome.all_output,
+        "leader": min(sorted_labels) if outcome.correct else None,
+    }
+    if spec.values is not None:
+        extra["value_maps"] = outcome.value_maps
+    if dormant:
+        extra["dormant"] = tuple(sorted(dormant))
     return _record(
         spec,
         graph,
@@ -225,9 +268,80 @@ def _run_teams_problem(
         cost=outcome.cost,
         reason=outcome.result.reason,
         decisions=outcome.result.decisions,
+        extra=extra,
+    )
+
+
+@PROBLEMS.register("bounds")
+def _run_bounds_problem(
+    spec: ScenarioSpec, graph: PortLabeledGraph, model: CostModel
+) -> RunRecord:
+    """The analytic guarantees of Theorem 3.1 as a sweepable problem kind.
+
+    No simulation runs: the cell evaluates ``Π(n, |L_min|)`` and the naive
+    exponential baseline guarantee on the built graph's actual size.  The
+    record's ``cost`` is the RV-asynch-poly bound, so bound tables sweep,
+    cache and aggregate exactly like measured ones (experiment E3).
+    """
+    labels = spec.labels if spec.labels is not None else (6, 11)
+    small = min(labels)
+    length = small.bit_length()
+    rv_bound = model.pi_bound(graph.size, length)
+    baseline_bound = model.baseline_trajectory_length(graph.size, small)
+    return _record(
+        spec,
+        graph,
+        ok=True,
+        cost=rv_bound,
+        reason="bounds",
+        decisions=0,
         extra={
-            "team_labels": sorted_labels,
-            "all_output": outcome.all_output,
-            "leader": min(sorted_labels) if outcome.correct else None,
+            "label_small": small,
+            "label_length": length,
+            "rv_bound": rv_bound,
+            "baseline_bound": baseline_bound,
+        },
+    )
+
+
+def _composition_of(structure: dict) -> str:
+    """Render a trajectory decomposition the way the paper's figures draw it."""
+    components = structure["components"]
+    if "trunk_length" in structure:
+        inner = components[0]
+        return (
+            f"{inner['kind']}({inner['k']}) at each of the "
+            f"{inner['repetitions']} trunk nodes + {structure['trunk_length']} trunk edges"
+        )
+    return " ".join(f"{component['kind']}({component['k']})" for component in components)
+
+
+@PROBLEMS.register("figures")
+def _run_figures_problem(
+    spec: ScenarioSpec, graph: PortLabeledGraph, model: CostModel
+) -> RunRecord:
+    """The structural decomposition of a trajectory (paper Figures 1–4).
+
+    ``problem_params`` carries the trajectory ``kind`` (Q, Y', Z, A', ...)
+    and the parameter ``k``; the record's ``cost`` is the exact trajectory
+    length.  Pure computation — the graph is irrelevant beyond the record's
+    bookkeeping columns.
+    """
+    params = spec.problem_kwargs
+    kind = str(params.get("kind", "Q"))
+    k = int(params.get("k", 1))
+    structure = trajectory_structure(kind, k, model)
+    return _record(
+        spec,
+        graph,
+        ok=True,
+        cost=int(structure["length"]),
+        reason="figures",
+        decisions=0,
+        extra={
+            "kind": kind,
+            "k": k,
+            "components": len(structure["components"]),
+            "composition": _composition_of(structure),
         },
     )

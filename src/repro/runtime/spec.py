@@ -16,15 +16,23 @@ process pool — always produce records in the same order.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import dataclass, fields, replace
+from fractions import Fraction
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 from ..exceptions import ReproError
 from .registry import COST_MODELS, GRAPH_FAMILIES, PROBLEMS, SCHEDULERS
 
-__all__ = ["ScenarioSpec", "SweepSpec", "ParamItems"]
+__all__ = ["ScenarioSpec", "SweepSpec", "ParamItems", "spec_key", "SPEC_KEY_VERSION"]
+
+#: Version of the content-hash schema used by :func:`spec_key`.  Bump this
+#: whenever the meaning of a spec field (or the set of fields) changes in a
+#: way that makes previously stored results incomparable — every existing
+#: store entry then misses cleanly instead of being served stale.
+SPEC_KEY_VERSION = 1
 
 #: Normalised key/value parameter bag: a sorted tuple of ``(key, value)``
 #: pairs.  Hashable, picklable and JSON-round-trippable, unlike a dict.
@@ -46,6 +54,50 @@ def _freeze_ints(values: Any) -> Optional[Tuple[int, ...]]:
     if values is None:
         return None
     return tuple(int(value) for value in values)
+
+
+def _freeze_value(value: Any) -> Any:
+    """Recursively freeze an arbitrary initial value into a hashable shape.
+
+    Mappings become sorted ``(key, value)`` pair tuples, sequences and sets
+    become tuples; scalars pass through.  The frozen shape is what travels in
+    the spec (and hence in team-member values handed to Algorithm SGL).
+    """
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(key), _freeze_value(item)) for key, item in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze_value(item) for item in value))
+    return value
+
+
+def _listify(value: Any) -> Any:
+    """Recursively convert tuples to lists (the JSON-facing inverse of freezing)."""
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
+    return value
+
+
+def canonical_json(data: Any) -> str:
+    """Serialise ``data`` deterministically: sorted keys, no whitespace."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def spec_key(spec: "ScenarioSpec") -> str:
+    """Content hash of a scenario: sha256 over its canonical JSON form.
+
+    The key is what the result store addresses records by.  Two specs get the
+    same key exactly when they describe the same computation: every field of
+    :meth:`ScenarioSpec.to_dict` participates **except** ``name``, which is a
+    display label (the same cell computed by experiment E1 or by an ad-hoc
+    sweep should hit the same cache entry).  The hash input is prefixed with
+    :data:`SPEC_KEY_VERSION` so schema changes invalidate cleanly.
+    """
+    data = spec.to_dict()
+    data.pop("name", None)
+    payload = f"repro.ScenarioSpec.v{SPEC_KEY_VERSION}:{canonical_json(data)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -70,12 +122,27 @@ class ScenarioSpec:
     team_size:
         Number of agents for the ``"teams"`` problem when ``labels`` is
         ``None``.
+    values:
+        Initial values carried by the team members (gossiping inputs),
+        parallel to the members.  Mappings/sequences are frozen into sorted
+        pair tuples / tuples so the spec stays hashable.
+    dormant:
+        Indices of the team members that start dormant (woken when an active
+        teammate walks over their start node).
     token_node:
         Token position for ``"esst"``; ``None`` means the highest-numbered
-        node.
+        node (unless ``token_edge`` places it inside an edge).
+    token_edge, token_fraction:
+        Mid-edge token position for ``"esst"``: the token sits strictly
+        inside edge ``token_edge`` at parametric fraction ``token_fraction``
+        (a ``"p/q"`` string, measured from the smaller-id endpoint; default
+        ``"1/2"``).  Mutually exclusive with ``token_node``.
     scheduler, scheduler_params:
         Adversary name (a :data:`~repro.runtime.registry.SCHEDULERS` name)
         and its keyword parameters (e.g. ``{"patience": 256}``).
+    problem_params:
+        Additional problem-specific parameters as a frozen key/value bag
+        (e.g. the ``"figures"`` problem's trajectory ``kind`` and ``k``).
     cost_model:
         Cost-model name (a :data:`~repro.runtime.registry.COST_MODELS`
         name); serial callers may instead pass a live model to ``run()``.
@@ -90,9 +157,14 @@ class ScenarioSpec:
     labels: Optional[Tuple[int, ...]] = None
     starts: Optional[Tuple[int, ...]] = None
     team_size: Optional[int] = None
+    values: Optional[Tuple[Any, ...]] = None
+    dormant: Optional[Tuple[int, ...]] = None
     token_node: Optional[int] = None
+    token_edge: Optional[Tuple[int, int]] = None
+    token_fraction: Optional[str] = None
     scheduler: str = "round_robin"
     scheduler_params: ParamItems = ()
+    problem_params: ParamItems = ()
     cost_model: str = "simulation"
     max_traversals: int = 2_000_000
     on_cost_limit: str = "return"
@@ -101,8 +173,24 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "labels", _freeze_ints(self.labels))
         object.__setattr__(self, "starts", _freeze_ints(self.starts))
+        object.__setattr__(self, "dormant", _freeze_ints(self.dormant))
+        if self.values is not None:
+            object.__setattr__(
+                self, "values", tuple(_freeze_value(value) for value in self.values)
+            )
+        if self.token_edge is not None:
+            u, v = (int(end) for end in self.token_edge)
+            object.__setattr__(self, "token_edge", (min(u, v), max(u, v)))
+        if self.token_fraction is not None:
+            fraction = Fraction(str(self.token_fraction))
+            object.__setattr__(
+                self, "token_fraction", f"{fraction.numerator}/{fraction.denominator}"
+            )
         object.__setattr__(
             self, "scheduler_params", _freeze_params(self.scheduler_params)
+        )
+        object.__setattr__(
+            self, "problem_params", _freeze_params(self.problem_params)
         )
 
     # ------------------------------------------------------------------
@@ -112,6 +200,15 @@ class ScenarioSpec:
     def scheduler_kwargs(self) -> Dict[str, Any]:
         """The scheduler parameters as a keyword dict."""
         return dict(self.scheduler_params)
+
+    @property
+    def problem_kwargs(self) -> Dict[str, Any]:
+        """The problem-specific parameters as a keyword dict."""
+        return dict(self.problem_params)
+
+    def key(self) -> str:
+        """The spec's content hash (see :func:`spec_key`)."""
+        return spec_key(self)
 
     def replace(self, **changes: Any) -> "ScenarioSpec":
         """Return a copy with ``changes`` applied (specs are immutable)."""
@@ -148,18 +245,41 @@ class ScenarioSpec:
             raise ReproError("max_traversals must be positive")
         if self.on_cost_limit not in ("raise", "return"):
             raise ReproError("on_cost_limit must be 'raise' or 'return'")
+        if self.token_node is not None and self.token_edge is not None:
+            raise ReproError("token_node and token_edge are mutually exclusive")
+        if self.token_fraction is not None:
+            if self.token_edge is None:
+                raise ReproError("token_fraction needs a token_edge")
+            fraction = Fraction(self.token_fraction)
+            if fraction < 0 or fraction > 1:
+                raise ReproError(f"token_fraction {self.token_fraction} outside [0, 1]")
+        if self.token_edge is not None and self.token_edge[0] == self.token_edge[1]:
+            raise ReproError(f"token_edge endpoints must differ, got {self.token_edge}")
+        if self.dormant is not None and any(index < 0 for index in self.dormant):
+            raise ReproError("dormant member indices must be non-negative")
+        if (
+            self.values is not None
+            and self.labels is not None
+            and len(self.values) != len(self.labels)
+        ):
+            raise ReproError(
+                f"{len(self.values)} values for {len(self.labels)} labels "
+                "(values are parallel to the team members)"
+            )
         return self
 
     # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form; ``scheduler_params`` becomes a JSON object."""
+        """Plain-dict form; parameter bags become JSON objects."""
         data: Dict[str, Any] = {}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
-            if spec_field.name == "scheduler_params":
+            if spec_field.name in ("scheduler_params", "problem_params"):
                 value = dict(value)
+            elif spec_field.name == "values":
+                value = None if value is None else [_listify(item) for item in value]
             elif isinstance(value, tuple):
                 value = list(value)
             data[spec_field.name] = value

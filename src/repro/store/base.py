@@ -1,0 +1,149 @@
+"""The result-store interface and its query layer.
+
+A :class:`ResultStore` maps the content hash of a
+:class:`~repro.runtime.spec.ScenarioSpec` (its :func:`~repro.runtime.spec.spec_key`)
+to the :class:`~repro.runtime.records.RunRecord` produced by running it.
+Scenarios are deterministic in their spec, so the store is a pure cache:
+``put`` is idempotent, a second ``put`` of the same key is a no-op, and a
+``get`` hit is indistinguishable from re-running the cell.
+
+Two backends implement the interface:
+
+* :class:`~repro.store.memory.MemoryStore` — a process-local dict; and
+* :class:`~repro.store.filestore.FileStore` — JSONL shards plus an index
+  under a ``.repro-store/`` directory, with atomic per-record appends.
+
+The query layer (:meth:`ResultStore.query`) filters stored records by spec
+and record attributes and returns a
+:class:`~repro.runtime.records.SweepResult`, so tables and aggregation work
+straight off the store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
+
+from ..runtime.records import RunRecord, SweepResult
+from ..runtime.spec import ScenarioSpec
+
+__all__ = ["ResultStore", "KeyLike"]
+
+#: A store key: the hex digest itself, or a spec to hash.
+KeyLike = Union[str, ScenarioSpec]
+
+
+def _key_of(key: KeyLike) -> str:
+    return key if isinstance(key, str) else key.key()
+
+
+#: Deterministic ordering of query results, independent of backend layout.
+def _canonical_order(record: RunRecord) -> Tuple[Any, ...]:
+    return (
+        record.spec.problem,
+        record.spec.family,
+        record.graph_size,
+        record.spec.seed,
+        record.spec.scheduler,
+        record.spec.key(),
+    )
+
+
+class ResultStore:
+    """Abstract content-addressed store of run records."""
+
+    backend = "abstract"
+
+    # ------------------------------------------------------------------
+    # core mapping (implemented by the backends)
+    # ------------------------------------------------------------------
+    def get(self, key: KeyLike) -> Optional[RunRecord]:
+        """The stored record for ``key`` (a digest or a spec), or ``None``."""
+        raise NotImplementedError
+
+    def put(self, record: RunRecord) -> str:
+        """Store ``record`` under its spec's key; idempotent.  Returns the key."""
+        raise NotImplementedError
+
+    def keys(self) -> Tuple[str, ...]:
+        """All stored keys, in a backend-defined but stable order."""
+        raise NotImplementedError
+
+    def records(self) -> Iterator[RunRecord]:
+        """Iterate every stored record (order matches :meth:`keys`)."""
+        for key in self.keys():
+            record = self.get(key)
+            if record is not None:
+                yield record
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, (str, ScenarioSpec)) and self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # ------------------------------------------------------------------
+    # lifecycle (no-ops for backends without buffered state)
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Push any buffered writes to durable storage."""
+
+    def close(self) -> None:
+        """Release resources; the store must not be used afterwards."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # query layer
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        predicate: Optional[Callable[[RunRecord], bool]] = None,
+        *,
+        n_range: Optional[Tuple[int, int]] = None,
+        cost_range: Optional[Tuple[int, int]] = None,
+        ok: Optional[bool] = None,
+        **matches: Any,
+    ) -> SweepResult:
+        """Stored records matching the given filters, as a ``SweepResult``.
+
+        ``matches`` are equality filters resolved against the record first
+        and its spec second (the same rule as ``SweepResult.filter``), so
+        both ``problem="esst"`` and ``max_traversals=10**6`` work; ``n_range``
+        and ``cost_range`` are inclusive ``(lo, hi)`` bounds on the actual
+        graph size and the cost.  Results come back in a canonical order
+        (problem, family, size, seed, scheduler, key) regardless of the
+        backend's on-disk layout, ready for ``.table()`` and
+        ``analysis/tables.py``-style aggregation::
+
+            store.query(problem="rendezvous", family="ring", n_range=(4, 12))
+        """
+        selected = []
+        for record in self.records():
+            if n_range is not None and not (n_range[0] <= record.graph_size <= n_range[1]):
+                continue
+            if cost_range is not None and not (cost_range[0] <= record.cost <= cost_range[1]):
+                continue
+            if ok is not None and record.ok != ok:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            selected.append(record)
+        result = SweepResult(records=selected).filter(**matches) if matches else SweepResult(records=selected)
+        result.records.sort(key=_canonical_order)
+        return result
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Backend-specific counters (at least ``backend`` and ``records``)."""
+        return {"backend": self.backend, "records": len(self)}
+
+    @staticmethod
+    def key_of(key: KeyLike) -> str:
+        """Resolve a digest-or-spec argument to the digest string."""
+        return _key_of(key)

@@ -1,0 +1,59 @@
+"""Cache-aware execution: a runner that consults a store before running.
+
+:class:`CachingRunner` wraps the plain
+:func:`~repro.runtime.runner.run` entry point with a
+:class:`~repro.store.base.ResultStore`: a scenario whose
+:func:`~repro.runtime.spec.spec_key` is already stored is served without
+execution, anything else is run and persisted.  Sweeps get the same
+behaviour in bulk through ``run_sweep(..., store=..., resume=...)``
+(:mod:`repro.runtime.executors`), which additionally fans the misses out to
+the configured executor.
+
+Caching correctness rests on scenarios being deterministic functions of
+their spec.  One sharp edge follows: a live ``model`` override must compute
+the same results as the spec's named ``cost_model``, because records are
+keyed by the spec alone (the experiment drivers pass the session-shared
+instance of exactly that named model, which is fine).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exploration.cost_model import CostModel
+from ..runtime.records import RunRecord
+from ..runtime.spec import ScenarioSpec
+from .base import ResultStore
+
+__all__ = ["CachingRunner"]
+
+
+class CachingRunner:
+    """``run()`` with a read-through/write-through result store.
+
+    >>> runner = CachingRunner(MemoryStore())
+    >>> runner.run(spec)   # executes, stores
+    >>> runner.run(spec)   # served from the store
+    >>> runner.hits, runner.executed
+    (1, 1)
+    """
+
+    def __init__(self, store: ResultStore, model: Optional[CostModel] = None) -> None:
+        self.store = store
+        self.model = model
+        self.hits = 0
+        self.executed = 0
+
+    def run(self, spec: ScenarioSpec) -> RunRecord:
+        from ..runtime.runner import run as _run  # lazy: keeps store imports light
+
+        cached = self.store.get(spec.key())
+        if cached is not None:
+            self.hits += 1
+            return cached
+        record = _run(spec, model=self.model)
+        self.store.put(record)
+        self.executed += 1
+        return record
+
+    __call__ = run

@@ -1,0 +1,419 @@
+"""The on-disk result-store backend: JSONL shards plus an index.
+
+Layout of a store directory (default name ``.repro-store``)::
+
+    .repro-store/
+    ├── store.meta.json      # format + spec-key versions, written once
+    ├── index.jsonl          # one {"key", "shard"} line per stored record
+    └── shards/
+        ├── 0a.jsonl         # records whose key starts with "0a"
+        ├── 3f.jsonl         # one {"key", "record"} JSON object per line
+        └── ...
+
+Durability model
+----------------
+Every ``put`` appends **one line** to the record's shard, flushes it, and
+then appends one line to the index.  A single-line append is atomic for any
+realistic line size, so a sweep killed at an arbitrary moment loses at most
+the record whose line was being written: on the next open a truncated final
+shard line is detected and dropped (the cell simply re-runs), and an index
+line is recomputed from the shards when missing.  Malformed data anywhere
+*else* in a shard means real corruption and raises
+:class:`~repro.exceptions.StoreCorruptionError` — :meth:`FileStore.gc`
+salvages what it can and rewrites the store compactly.
+
+The shards are the source of truth; the index is a recoverable accelerator
+(it spares opening every shard to answer ``keys()`` / ``__contains__``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, IO, Optional, Tuple
+
+from ..exceptions import StoreCorruptionError, StoreError
+from ..runtime.records import RunRecord
+from ..runtime.spec import SPEC_KEY_VERSION
+from .base import KeyLike, ResultStore
+
+__all__ = ["FileStore", "DEFAULT_STORE_DIR", "FORMAT_VERSION"]
+
+#: Conventional store directory name (what ``repro sweep --store`` defaults to).
+DEFAULT_STORE_DIR = ".repro-store"
+
+#: On-disk layout version; bumped only when the file layout itself changes.
+FORMAT_VERSION = 1
+
+_META_NAME = "store.meta.json"
+_INDEX_NAME = "index.jsonl"
+_SHARD_DIR = "shards"
+
+
+def _append_line(handle: IO[str], payload: Dict[str, Any], fsync: bool) -> None:
+    handle.write(json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n")
+    handle.flush()
+    if fsync:
+        os.fsync(handle.fileno())
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _split_lines(text: str) -> Tuple[list, bool]:
+    """Split shard/index text into complete lines; flag an unterminated tail.
+
+    A line is only trusted once its terminating newline hit the disk, so the
+    partial tail of a killed write is excluded from the body and reported.
+    """
+    if not text:
+        return [], False
+    lines = text.split("\n")
+    truncated = lines[-1] != ""
+    return lines[:-1], truncated
+
+
+class FileStore(ResultStore):
+    """Result store persisted as JSONL shards under a directory.
+
+    Parameters
+    ----------
+    root:
+        The store directory.  Created (with its metadata file) when missing,
+        unless ``create=False`` — then a missing or alien directory raises
+        :class:`~repro.exceptions.StoreError`.
+    fsync:
+        Force every append to stable storage.  Off by default: the atomic
+        single-line append already bounds a crash's damage to the in-flight
+        cell, and fsync-per-cell slows large sweeps considerably.
+    salvage:
+        Tolerate corrupt shard lines (skip and count them) instead of
+        raising :class:`~repro.exceptions.StoreCorruptionError`.  This is
+        how :meth:`gc` gets at a damaged store to repair it; leave it off
+        for normal use so corruption is loud.
+    """
+
+    backend = "file"
+
+    def __init__(
+        self, root, *, create: bool = True, fsync: bool = False, salvage: bool = False
+    ) -> None:
+        self.root = Path(root)
+        self.fsync = fsync
+        self.salvage = salvage
+        self._index: Dict[str, str] = {}
+        self._shard_cache: Dict[str, Dict[str, RunRecord]] = {}
+        self._handles: Dict[str, IO[str]] = {}
+        self._index_handle: Optional[IO[str]] = None
+        self._truncated_dropped = 0
+        self._open(create)
+
+    # ------------------------------------------------------------------
+    # opening / layout
+    # ------------------------------------------------------------------
+    @property
+    def _meta_path(self) -> Path:
+        return self.root / _META_NAME
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    def _shard_path(self, shard: str) -> Path:
+        return self.root / _SHARD_DIR / f"{shard}.jsonl"
+
+    @staticmethod
+    def _shard_of(key: str) -> str:
+        return key[:2]
+
+    def _open(self, create: bool) -> None:
+        if self._meta_path.exists():
+            try:
+                meta = json.loads(self._meta_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as error:
+                raise StoreError(f"unreadable store metadata {self._meta_path}: {error}")
+            if meta.get("format_version") != FORMAT_VERSION:
+                raise StoreError(
+                    f"store {self.root} uses layout version {meta.get('format_version')}, "
+                    f"this code reads version {FORMAT_VERSION}"
+                )
+            if meta.get("spec_key_version") != SPEC_KEY_VERSION:
+                raise StoreError(
+                    f"store {self.root} was written with spec-key version "
+                    f"{meta.get('spec_key_version')} (current: {SPEC_KEY_VERSION}); "
+                    "run 'repro store gc' after re-running the sweeps, or start a fresh store"
+                )
+        elif self.root.exists() and any(self.root.iterdir()):
+            raise StoreError(
+                f"{self.root} exists but holds no store metadata — refusing to "
+                "treat an arbitrary directory as a result store"
+            )
+        elif create:
+            (self.root / _SHARD_DIR).mkdir(parents=True, exist_ok=True)
+            _atomic_write(
+                self._meta_path,
+                json.dumps(
+                    {
+                        "format_version": FORMAT_VERSION,
+                        "spec_key_version": SPEC_KEY_VERSION,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n",
+            )
+        else:
+            raise StoreError(f"no result store at {self.root}")
+        (self.root / _SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        self._load_index()
+
+    def _load_index(self) -> None:
+        """Load ``index.jsonl``, falling back to a shard scan when absent.
+
+        Index entries are advisory: a key pointing at a shard that does not
+        actually hold the record (the put was killed between the two appends
+        — impossible in the shard-first write order, but cheap to defend
+        against) is dropped lazily by :meth:`get`.  Conversely, shard records
+        missing from the index (killed between shard and index append) are
+        recovered here by scanning any shard whose record count exceeds its
+        index count.
+        """
+        counts: Dict[str, int] = {}
+        if self._index_path.exists():
+            body, truncated = _split_lines(self._index_path.read_text(encoding="utf-8"))
+            if truncated:
+                self._truncated_dropped += 1
+            for lineno, line in enumerate(body, start=1):
+                try:
+                    entry = json.loads(line)
+                    key, shard = entry["key"], entry["shard"]
+                except (json.JSONDecodeError, KeyError, TypeError) as error:
+                    raise StoreCorruptionError(
+                        f"corrupt index line {lineno} in {self._index_path}: {error}"
+                    )
+                self._index[key] = shard
+                counts[shard] = counts.get(shard, 0) + 1
+        shard_dir = self.root / _SHARD_DIR
+        for path in sorted(shard_dir.glob("*.jsonl")):
+            shard = path.stem
+            indexed = counts.get(shard, 0)
+            # Cheap reconciliation: only scan shards the index undercounts.
+            if indexed and indexed == sum(1 for _ in self._iter_shard_lines(shard)):
+                continue
+            for key in self._load_shard(shard):
+                if key not in self._index:
+                    self._index[key] = shard
+                    _append_line(
+                        self._index_append_handle(), {"key": key, "shard": shard}, self.fsync
+                    )
+
+    def _iter_shard_lines(self, shard: str):
+        path = self._shard_path(shard)
+        if not path.exists():
+            return
+        body, _truncated = _split_lines(path.read_text(encoding="utf-8"))
+        yield from body
+
+    # ------------------------------------------------------------------
+    # shard parsing
+    # ------------------------------------------------------------------
+    def _parse_shard(
+        self, shard: str, salvage: bool = False
+    ) -> Tuple[Dict[str, RunRecord], int]:
+        """Parse one shard file into ``key -> record``; last write wins.
+
+        A truncated final line is dropped (and counted).  With ``salvage``
+        any undecodable or key-mismatched line is skipped and counted;
+        without it, such a line raises ``StoreCorruptionError``.
+        """
+        path = self._shard_path(shard)
+        records: Dict[str, RunRecord] = {}
+        dropped = 0
+        if not path.exists():
+            return records, dropped
+        body, truncated = _split_lines(path.read_text(encoding="utf-8"))
+        if truncated:
+            self._truncated_dropped += 1
+        for lineno, line in enumerate(body, start=1):
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                record = RunRecord.from_dict(entry["record"])
+                if record.spec.key() != key:
+                    raise StoreCorruptionError(
+                        f"record in {path} line {lineno} does not hash to its key "
+                        f"{key[:12]}… (content-address mismatch)"
+                    )
+            except StoreCorruptionError:
+                if not salvage:
+                    raise
+                dropped += 1
+                continue
+            except Exception as error:
+                if not salvage:
+                    raise StoreCorruptionError(
+                        f"corrupt shard line {lineno} in {path}: {error}"
+                    )
+                dropped += 1
+                continue
+            records[key] = record
+        return records, dropped
+
+    def _load_shard(self, shard: str) -> Dict[str, RunRecord]:
+        if shard not in self._shard_cache:
+            records, _dropped = self._parse_shard(shard, salvage=self.salvage)
+            self._shard_cache[shard] = records
+        return self._shard_cache[shard]
+
+    # ------------------------------------------------------------------
+    # core mapping
+    # ------------------------------------------------------------------
+    def get(self, key: KeyLike) -> Optional[RunRecord]:
+        digest = self.key_of(key)
+        shard = self._index.get(digest)
+        if shard is None:
+            return None
+        record = self._load_shard(shard).get(digest)
+        if record is None:
+            # Index ahead of the shard (in-flight cell of a killed sweep).
+            del self._index[digest]
+            return None
+        return record
+
+    def put(self, record: RunRecord) -> str:
+        key = record.spec.key()
+        if key in self._index and self.get(key) is not None:
+            return key
+        shard = self._shard_of(key)
+        _append_line(
+            self._shard_append_handle(shard),
+            {"key": key, "record": record.to_dict()},
+            self.fsync,
+        )
+        _append_line(self._index_append_handle(), {"key": key, "shard": shard}, self.fsync)
+        self._index[key] = shard
+        if shard in self._shard_cache:
+            # Keep the cache coherent; re-parse is wasteful for an append.
+            self._shard_cache[shard][key] = record
+        return key
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._index)
+
+    # ------------------------------------------------------------------
+    # handles / lifecycle
+    # ------------------------------------------------------------------
+    def _shard_append_handle(self, shard: str) -> IO[str]:
+        handle = self._handles.get(shard)
+        if handle is None:
+            path = self._shard_path(shard)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = path.open("a", encoding="utf-8")
+            self._handles[shard] = handle
+        return handle
+
+    def _index_append_handle(self) -> IO[str]:
+        if self._index_handle is None:
+            self._index_handle = self._index_path.open("a", encoding="utf-8")
+        return self._index_handle
+
+    def flush(self) -> None:
+        for handle in self._handles.values():
+            handle.flush()
+        if self._index_handle is not None:
+            self._index_handle.flush()
+
+    def close(self) -> None:
+        self.flush()
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+        if self._index_handle is not None:
+            self._index_handle.close()
+            self._index_handle = None
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def verify(self) -> Dict[str, int]:
+        """Parse every shard strictly; raise on corruption, report counts."""
+        records = 0
+        for path in sorted((self.root / _SHARD_DIR).glob("*.jsonl")):
+            parsed, _dropped = self._parse_shard(path.stem)
+            records += len(parsed)
+        return {"records": records, "truncated_dropped": self._truncated_dropped}
+
+    def gc(self) -> Dict[str, int]:
+        """Compact the store: drop corrupt/duplicate lines, rewrite the index.
+
+        Every shard is re-parsed in salvage mode (undecodable and
+        content-address-mismatched lines are discarded, duplicate keys keep
+        the last write), shards are rewritten atomically, empty shards
+        removed, and ``index.jsonl`` regenerated.  Returns counters::
+
+            {"kept": ..., "dropped_corrupt": ..., "dropped_duplicate": ...,
+             "reclaimed_bytes": ...}
+        """
+        self.close()
+        kept = 0
+        dropped_corrupt = 0
+        dropped_duplicate = 0
+        before = sum(
+            path.stat().st_size for path in (self.root / _SHARD_DIR).glob("*.jsonl")
+        )
+        index_lines = []
+        new_index: Dict[str, str] = {}
+        new_cache: Dict[str, Dict[str, RunRecord]] = {}
+        for path in sorted((self.root / _SHARD_DIR).glob("*.jsonl")):
+            shard = path.stem
+            body, _ = _split_lines(path.read_text(encoding="utf-8"))
+            records, dropped = self._parse_shard(shard, salvage=True)
+            dropped_corrupt += dropped
+            dropped_duplicate += max(0, len(body) - dropped - len(records))
+            if not records:
+                path.unlink()
+                continue
+            lines = [
+                json.dumps(
+                    {"key": key, "record": record.to_dict()},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                for key, record in records.items()
+            ]
+            _atomic_write(path, "\n".join(lines) + "\n")
+            for key in records:
+                index_lines.append(
+                    json.dumps({"key": key, "shard": shard}, sort_keys=True, separators=(",", ":"))
+                )
+                new_index[key] = shard
+            new_cache[shard] = records
+            kept += len(records)
+        _atomic_write(self._index_path, "\n".join(index_lines) + "\n" if index_lines else "")
+        after = sum(
+            path.stat().st_size for path in (self.root / _SHARD_DIR).glob("*.jsonl")
+        )
+        self._index = new_index
+        self._shard_cache = new_cache
+        self._truncated_dropped = 0
+        return {
+            "kept": kept,
+            "dropped_corrupt": dropped_corrupt,
+            "dropped_duplicate": dropped_duplicate,
+            "reclaimed_bytes": max(0, before - after),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        shard_paths = list((self.root / _SHARD_DIR).glob("*.jsonl"))
+        return {
+            "backend": self.backend,
+            "root": str(self.root),
+            "records": len(self._index),
+            "shards": len(shard_paths),
+            "bytes": sum(path.stat().st_size for path in shard_paths),
+            "truncated_dropped": self._truncated_dropped,
+        }

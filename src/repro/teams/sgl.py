@@ -204,10 +204,12 @@ class SGLController(AgentController):
         # ----------------------------- traveller -------------------------
         rv_tape = Tape()
         rv_gen = rv_route(self.label, model, obs, rv_tape)
+        rv_started = False
         rv_traversals = 0
         saved_obs = obs
         if self._pending_transition != EXPLORER:
             rv_action = next(rv_gen)
+            rv_started = True
             while True:
                 obs = yield rv_action
                 rv_traversals += 1
@@ -237,7 +239,14 @@ class SGLController(AgentController):
         budget = model.rendezvous_budget(size_bound, label_length(self.label))
         pending_obs = saved_obs
         while rv_traversals < budget and self.bag.min_label() >= self.label:
-            rv_action = rv_gen.send(pending_obs)
+            if rv_started:
+                rv_action = rv_gen.send(pending_obs)
+            else:
+                # The agent became an explorer before ever travelling (a
+                # dormant agent woken in place): the just-started generator
+                # must be primed — it already holds its initial observation.
+                rv_action = next(rv_gen)
+                rv_started = True
             pending_obs = yield rv_action
             rv_traversals += 1
         obs = pending_obs

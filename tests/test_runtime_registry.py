@@ -81,7 +81,14 @@ class TestGlobalRegistries:
         assert SCHEDULERS.create("round_robin", seed=3, patience=9, starved="x") is not None
 
     def test_problems_registered(self):
-        assert sorted(PROBLEMS) == ["baseline", "esst", "rendezvous", "teams"]
+        assert sorted(PROBLEMS) == [
+            "baseline",
+            "bounds",
+            "esst",
+            "figures",
+            "rendezvous",
+            "teams",
+        ]
 
     def test_cost_models_registered(self):
         assert {"simulation", "paper", "default"} <= set(COST_MODELS)

@@ -42,6 +42,34 @@ class TestScenarioSpec:
         spec = ScenarioSpec(labels=(5, 12), starts=(1, 4), token_node=2)
         assert ScenarioSpec.from_json(spec.to_json()) == spec
 
+    def test_json_round_trip_with_team_and_token_extensions(self):
+        spec = ScenarioSpec(
+            problem="teams",
+            labels=(3, 5, 9),
+            starts=(0, 2, 4),
+            values=("a", {"k": 1}, [1, 2]),
+            dormant=(1, 2),
+            problem_params={"variant": "x"},
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        token_spec = ScenarioSpec(problem="esst", token_edge=(3, 1), token_fraction="2/6")
+        assert ScenarioSpec.from_json(token_spec.to_json()) == token_spec
+
+    def test_token_edge_and_fraction_are_normalised(self):
+        spec = ScenarioSpec(problem="esst", token_edge=(3, 1), token_fraction="2/6")
+        assert spec.token_edge == (1, 3)
+        assert spec.token_fraction == "1/3"
+
+    def test_token_placement_validation(self):
+        with pytest.raises(ReproError):
+            ScenarioSpec(token_node=1, token_edge=(0, 1)).validate()
+        with pytest.raises(ReproError):
+            ScenarioSpec(token_fraction="1/2").validate()
+        with pytest.raises(ReproError):
+            ScenarioSpec(token_edge=(2, 2)).validate()
+        with pytest.raises(ReproError):
+            ScenarioSpec(token_edge=(0, 1), token_fraction="3/2").validate()
+
     def test_unknown_fields_rejected(self):
         with pytest.raises(ReproError):
             ScenarioSpec.from_dict({"problem": "rendezvous", "turbo": True})

@@ -1,0 +1,416 @@
+"""Tests of the content-addressed result store (spec keys, backends, resume)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ReproError, StoreCorruptionError, StoreError
+from repro.runtime import ScenarioSpec, SweepSpec, spec_key
+from repro.runtime.executors import ProcessPoolExecutor, run_sweep
+from repro.runtime.records import RunRecord
+from repro.runtime.runner import run
+from repro.store import CachingRunner, FileStore, MemoryStore, open_store
+
+#: A small, fast grid reused by most sweep tests (4 cells, trivial scenarios).
+GRID = SweepSpec(sizes=(4, 6), seeds=(0, 1), name="store-tests")
+
+
+class TestSpecKey:
+    def test_stable_for_equal_specs(self):
+        assert ScenarioSpec(size=8).key() == ScenarioSpec(size=8).key()
+
+    def test_key_order_permutations_hash_identically(self):
+        spec = ScenarioSpec(
+            problem="teams", size=7, seed=3, team_size=3, scheduler_params={"patience": 4}
+        )
+        shuffled = dict(reversed(list(spec.to_dict().items())))
+        assert ScenarioSpec.from_dict(shuffled).key() == spec.key()
+
+    def test_differing_content_differs(self):
+        base = ScenarioSpec()
+        assert base.replace(seed=1).key() != base.key()
+        assert base.replace(max_traversals=7).key() != base.key()
+        assert base.replace(scheduler_params={"patience": 4}).key() != base.key()
+
+    def test_name_is_presentation_only(self):
+        base = ScenarioSpec()
+        assert base.replace(name="e1-cell").key() == base.key()
+
+    def test_key_version_participates(self, monkeypatch):
+        from repro.runtime import spec as spec_module
+
+        base_key = ScenarioSpec().key()
+        monkeypatch.setattr(spec_module, "SPEC_KEY_VERSION", spec_module.SPEC_KEY_VERSION + 1)
+        assert ScenarioSpec().key() != base_key
+
+    def test_stable_across_processes(self):
+        spec = ScenarioSpec(size=9, seed=2, scheduler="avoider", scheduler_params={"patience": 8})
+        code = (
+            "from repro.runtime import ScenarioSpec;"
+            f"print(ScenarioSpec.from_json({spec.to_json()!r}).key())"
+        )
+        # The child must find the package even on a clean checkout where
+        # repro is not installed and PYTHONPATH is unset.
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (package_root, env.get("PYTHONPATH")) if part
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True, env=env
+        )
+        assert out.stdout.strip() == spec.key()
+
+    def test_module_function_matches_method(self):
+        spec = ScenarioSpec(size=5)
+        assert spec_key(spec) == spec.key()
+
+
+class TestMemoryStore:
+    def test_put_get_roundtrip(self):
+        store = MemoryStore()
+        record = run(ScenarioSpec(size=4))
+        key = store.put(record)
+        assert key == record.spec.key()
+        assert store.get(key) is record
+        assert store.get(record.spec) is record
+        assert record.spec in store and key in store
+        assert len(store) == 1 and store.keys() == (key,)
+
+    def test_put_is_idempotent(self):
+        store = MemoryStore()
+        record = run(ScenarioSpec(size=4))
+        store.put(record)
+        store.put(record)
+        assert len(store) == 1
+
+    def test_miss_returns_none(self):
+        assert MemoryStore().get(ScenarioSpec()) is None
+
+
+class TestFileStore:
+    def test_cache_hit_equals_fresh_run(self, tmp_path):
+        spec = ScenarioSpec(
+            problem="teams",
+            family="ring",
+            size=5,
+            labels=(9, 4, 17),
+            starts=(0, 2, 4),
+            values=("a", {"x": 1}, ("b", "c")),
+            dormant=(2,),
+        )
+        fresh = run(spec)
+        with FileStore(tmp_path / "store") as store:
+            store.put(fresh)
+        # A different process would reopen the store and reparse the JSON.
+        with FileStore(tmp_path / "store") as store:
+            assert store.get(spec) == fresh
+
+    def test_refuses_an_alien_directory(self, tmp_path):
+        (tmp_path / "junk.txt").write_text("hello")
+        with pytest.raises(StoreError):
+            FileStore(tmp_path)
+
+    def test_create_false_requires_existing_store(self, tmp_path):
+        with pytest.raises(StoreError):
+            FileStore(tmp_path / "missing", create=False)
+        FileStore(tmp_path / "made").close()
+        FileStore(tmp_path / "made", create=False).close()
+
+    def test_index_is_rebuilt_when_deleted(self, tmp_path):
+        with FileStore(tmp_path / "store") as store:
+            run_sweep(GRID, store=store)
+            keys = set(store.keys())
+        (tmp_path / "store" / "index.jsonl").unlink()
+        with FileStore(tmp_path / "store") as store:
+            assert set(store.keys()) == keys
+
+    def test_truncated_final_line_is_dropped_not_fatal(self, tmp_path):
+        with FileStore(tmp_path / "store") as store:
+            run_sweep(GRID, store=store)
+            total = len(store)
+        # Simulate a sweep killed mid-append: chop the tail of one shard and
+        # drop the index so the shard is re-scanned.
+        shard = sorted((tmp_path / "store" / "shards").glob("*.jsonl"))[0]
+        shard.write_bytes(shard.read_bytes()[:-10])
+        (tmp_path / "store" / "index.jsonl").unlink()
+        with FileStore(tmp_path / "store") as store:
+            assert len(store) == total - 1
+            assert store.stats()["truncated_dropped"] >= 1
+
+    def test_corrupted_middle_line_raises(self, tmp_path):
+        with FileStore(tmp_path / "store") as store:
+            record = run(ScenarioSpec(size=4))
+            store.put(record)
+            shard_name = record.spec.key()[:2]
+        shard = tmp_path / "store" / "shards" / f"{shard_name}.jsonl"
+        shard.write_text("{not json}\n" + shard.read_text())
+        (tmp_path / "store" / "index.jsonl").unlink()
+        with pytest.raises(StoreCorruptionError):
+            FileStore(tmp_path / "store")
+
+    def test_content_address_mismatch_is_corruption(self, tmp_path):
+        with FileStore(tmp_path / "store") as store:
+            record = run(ScenarioSpec(size=4))
+            key = store.put(record)
+        shard = tmp_path / "store" / "shards" / f"{key[:2]}.jsonl"
+        entry = json.loads(shard.read_text())
+        # Tamper with the spec: the stored record no longer hashes to its key.
+        entry["record"]["spec"]["seed"] = entry["record"]["spec"]["seed"] + 1
+        shard.write_text(json.dumps(entry) + "\n")
+        store = FileStore(tmp_path / "store")
+        with pytest.raises(StoreCorruptionError):
+            store.get(key)
+
+    def test_gc_salvages_and_compacts(self, tmp_path):
+        with FileStore(tmp_path / "store") as store:
+            run_sweep(GRID, store=store)
+            total = len(store)
+            some_shard = sorted((tmp_path / "store" / "shards").glob("*.jsonl"))[0]
+        # Corrupt one line and duplicate another.
+        text = some_shard.read_text()
+        some_shard.write_text("{broken\n" + text + text)
+        (tmp_path / "store" / "index.jsonl").unlink()
+        store = FileStore(tmp_path / "store", salvage=True)  # tolerant open for repair
+        report = store.gc()
+        assert report["kept"] == total
+        assert report["dropped_corrupt"] == 1
+        assert report["dropped_duplicate"] >= 1
+        # After gc the store opens and parses cleanly again.
+        with FileStore(tmp_path / "store") as reopened:
+            assert len(reopened) == total
+            reopened.verify()
+
+    def test_spec_key_version_mismatch_refuses(self, tmp_path, monkeypatch):
+        FileStore(tmp_path / "store").close()
+        meta = tmp_path / "store" / "store.meta.json"
+        data = json.loads(meta.read_text())
+        data["spec_key_version"] = data["spec_key_version"] + 1
+        meta.write_text(json.dumps(data))
+        with pytest.raises(StoreError):
+            FileStore(tmp_path / "store")
+
+    def test_open_store_helper(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        store = open_store()
+        assert store.root.name == ".repro-store"
+        store.close()
+
+
+class TestRunSweepWithStore:
+    def test_second_run_executes_zero_cells(self, tmp_path):
+        store = FileStore(tmp_path / "store")
+        first = run_sweep(GRID, store=store)
+        assert (first.cache_hits, first.executed) == (0, len(GRID))
+        second = run_sweep(GRID, store=store)
+        assert (second.cache_hits, second.executed) == (len(GRID), 0)
+        assert second.records == first.records
+        assert second.table() == first.table()
+        assert second.to_json() == first.to_json()
+
+    def test_resume_false_reexecutes(self, tmp_path):
+        store = FileStore(tmp_path / "store")
+        run_sweep(GRID, store=store)
+        again = run_sweep(GRID, store=store, resume=False)
+        assert again.cache_hits == 0 and again.executed == len(GRID)
+
+    def test_interrupted_sweep_resumes_identically(self, tmp_path):
+        # "Kill" a sweep by only running a subset of the grid, then chopping
+        # the final shard line (the in-flight cell of the real kill).
+        half = SweepSpec(sizes=(4,), seeds=(0, 1), name="store-tests")
+        with FileStore(tmp_path / "store") as store:
+            run_sweep(half, store=store)
+        shard = max(
+            (tmp_path / "store" / "shards").glob("*.jsonl"), key=lambda p: p.stat().st_mtime
+        )
+        shard.write_bytes(shard.read_bytes()[:-7])
+        (tmp_path / "store" / "index.jsonl").unlink()
+        with FileStore(tmp_path / "store") as store:
+            done_before = len(store)
+            assert 0 < done_before < len(GRID)
+            resumed = run_sweep(GRID, store=store)
+        uninterrupted = run_sweep(GRID)
+        assert resumed.cache_hits == done_before
+        assert resumed.executed == len(GRID) - done_before
+        assert resumed.records == uninterrupted.records
+        assert resumed.table() == uninterrupted.table()
+
+    def test_progress_reports_hits_then_runs(self, tmp_path):
+        store = FileStore(tmp_path / "store")
+        run_sweep(SweepSpec(sizes=(4,), seeds=(0, 1), name="store-tests"), store=store)
+        events = []
+
+        def progress(done, total, record, cached):
+            events.append((done, total, record.seed, cached))
+
+        run_sweep(GRID, store=store, progress=progress)
+        assert [e[0] for e in events] == [1, 2, 3, 4]
+        assert all(e[1] == len(GRID) for e in events)
+        assert [e[3] for e in events] == [True, True, False, False]
+
+    def test_three_argument_progress_still_works(self, tmp_path):
+        events = []
+        run_sweep(GRID, store=MemoryStore(), progress=lambda done, total, record: events.append(done))
+        assert events == [1, 2, 3, 4]
+
+    def test_store_is_written_incrementally(self, tmp_path):
+        """Every record is persisted as it completes, not at sweep end."""
+        store = FileStore(tmp_path / "store")
+        seen = []
+
+        def progress(done, total, record, cached):
+            seen.append(len(FileStore(tmp_path / "store")._index))
+
+        run_sweep(GRID, store=store, progress=progress)
+        assert seen == [1, 2, 3, 4]
+
+    def test_process_pool_with_store_matches_serial(self, tmp_path):
+        serial_store = FileStore(tmp_path / "serial")
+        pool_store = FileStore(tmp_path / "pool")
+        serial = run_sweep(GRID, store=serial_store)
+        pooled = run_sweep(GRID, executor=ProcessPoolExecutor(max_workers=2), store=pool_store)
+        assert serial.records == pooled.records
+        assert sorted(serial_store.keys()) == sorted(pool_store.keys())
+        # And a serial resume on the pool-written store is all hits.
+        resumed = run_sweep(GRID, store=pool_store)
+        assert resumed.cache_hits == len(GRID)
+        assert resumed.records == serial.records
+
+
+class TestCachingRunner:
+    def test_counts_hits_and_executions(self):
+        runner = CachingRunner(MemoryStore())
+        spec = ScenarioSpec(size=4)
+        first = runner.run(spec)
+        second = runner(spec)
+        assert first == second
+        assert (runner.hits, runner.executed) == (1, 1)
+
+
+class TestQueryLayer:
+    @pytest.fixture(scope="class")
+    def populated(self):
+        store = MemoryStore()
+        run_sweep(SweepSpec(sizes=(4, 6, 8), seeds=(0, 1), name="q"), store=store)
+        run_sweep(SweepSpec(problems=("esst",), sizes=(4, 5), name="q"), store=store)
+        return store
+
+    def test_query_by_problem(self, populated):
+        assert len(populated.query(problem="esst")) == 2
+        assert len(populated.query(problem="rendezvous")) == 6
+
+    def test_query_by_n_range(self, populated):
+        result = populated.query(problem="rendezvous", n_range=(4, 6))
+        assert len(result) == 4
+        assert all(4 <= record.graph_size <= 6 for record in result)
+
+    def test_query_with_predicate_and_ok(self, populated):
+        assert len(populated.query(ok=True)) == len(populated)
+        assert len(populated.query(lambda r: r.seed == 1)) == 3
+
+    def test_query_order_is_canonical(self, populated):
+        result = populated.query()
+        order = [
+            (r.spec.problem, r.spec.family, r.graph_size, r.spec.seed) for r in result
+        ]
+        assert order == sorted(order)
+
+    def test_query_result_renders_as_table(self, populated):
+        table = populated.query(problem="esst").table()
+        assert "esst" in table and table.count("\n") >= 3
+
+
+class TestSpecCoverage:
+    """The per-problem spec extensions that make new scenarios cacheable."""
+
+    def test_esst_mid_edge_token(self):
+        spec = ScenarioSpec(
+            problem="esst", family="ring", size=5, token_edge=(0, 1), token_fraction="1/3"
+        )
+        record = run(spec)
+        assert record.ok
+        extra = record.extra_dict
+        assert extra["token_node"] is None
+        assert extra["token_edge"] == (0, 1)
+        assert extra["token_fraction"] == "1/3"
+
+    def test_esst_token_fraction_normalised_to_endpoint(self):
+        record = run(ScenarioSpec(problem="esst", family="ring", size=5, token_edge=(1, 2), token_fraction="1"))
+        assert record.extra_dict["token_node"] == 2
+        assert "token_edge" not in record.extra_dict
+
+    def test_token_node_and_edge_are_exclusive(self):
+        with pytest.raises(ReproError):
+            ScenarioSpec(problem="esst", token_node=1, token_edge=(0, 1)).validate()
+        with pytest.raises(ReproError):
+            ScenarioSpec(problem="esst", token_fraction="1/2").validate()
+
+    def test_teams_values_and_dormant(self):
+        spec = ScenarioSpec(
+            problem="teams",
+            family="ring",
+            size=5,
+            labels=(9, 4, 17),
+            starts=(0, 2, 4),
+            values=("a", "b", "c"),
+            dormant=(1,),
+        )
+        record = run(spec)
+        assert record.ok
+        extra = record.extra_dict
+        assert extra["dormant"] == (1,)
+        expected = {"9": "a", "4": "b", "17": "c"}
+        assert all(mapping == expected for mapping in extra["value_maps"].values())
+
+    def test_values_length_checked(self):
+        with pytest.raises(ReproError):
+            ScenarioSpec(problem="teams", labels=(3, 5), values=("x",)).validate()
+        with pytest.raises(ReproError):
+            run(ScenarioSpec(problem="teams", family="ring", size=5, team_size=3, values=("x",)))
+
+    def test_dormant_index_out_of_range(self):
+        with pytest.raises(ReproError):
+            run(ScenarioSpec(problem="teams", family="ring", size=5, team_size=2, dormant=(5,)))
+
+    def test_mapping_values_freeze_and_round_trip(self):
+        spec = ScenarioSpec(
+            problem="teams",
+            labels=(3, 5),
+            values=({"b": 2, "a": 1}, ["x", "y"]),
+        )
+        assert spec.values == ((("a", 1), ("b", 2)), ("x", "y"))
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()).key() == spec.key()
+
+    def test_bounds_problem(self):
+        record = run(ScenarioSpec(problem="bounds", family="path", size=8, labels=(64, 65), cost_model="paper"))
+        extra = record.extra_dict
+        assert record.ok and record.cost == extra["rv_bound"]
+        assert extra["baseline_bound"] > extra["rv_bound"]
+
+    def test_figures_problem(self):
+        record = run(
+            ScenarioSpec(problem="figures", family="ring", size=4, problem_params={"kind": "Q", "k": 3})
+        )
+        assert record.ok and record.cost > 0
+        assert record.extra_dict["kind"] == "Q"
+        assert "composition" in record.extra_dict
+
+
+class TestRecordCanonicalisation:
+    def test_json_round_trip_preserves_equality(self):
+        for spec in (
+            ScenarioSpec(size=4),
+            ScenarioSpec(problem="esst", family="ring", size=5),
+            ScenarioSpec(problem="teams", family="ring", size=5, team_size=2),
+        ):
+            record = run(spec)
+            assert RunRecord.from_dict(json.loads(record.to_json())) == record
