@@ -2,10 +2,49 @@
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 #: Directory in which each benchmark drops the table it regenerated.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Machine-readable per-bench metrics (wall time, cells/sec), merged across
+#: the benchmarks of one run so the perf trajectory is trackable over PRs.
+BENCH_RESULTS = RESULTS_DIR / "BENCH_results.json"
+
+
+def record_bench(name: str, seconds: float, cells: int | None = None) -> None:
+    """Merge one benchmark's metrics into ``BENCH_results.json``.
+
+    Each entry carries the wall time of the single measured run and, when
+    the benchmark's result is sized (a sweep / experiment), the cell count
+    and throughput.  Read-modify-write keeps entries from other benchmark
+    files of the same session.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    try:
+        results = json.loads(BENCH_RESULTS.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        results = {}
+    entry: dict = {"seconds": round(seconds, 6)}
+    if cells is not None:
+        entry["cells"] = cells
+        entry["cells_per_sec"] = round(cells / seconds, 3) if seconds > 0 else None
+    results[name] = entry
+    BENCH_RESULTS.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def _cell_count(result) -> int | None:
+    """The number of sweep cells a benchmark result covers, if it is sized."""
+    for candidate in (result, getattr(result, "result", None), getattr(result, "records", None)):
+        try:
+            return len(candidate)
+        except TypeError:
+            continue
+    return None
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -13,8 +52,20 @@ def run_once(benchmark, function, *args, **kwargs):
 
     The benchmarks are macro-benchmarks (whole experiment drivers); repeating
     them would multiply the suite's runtime without improving the measurement.
+    The single run's wall time (and cells/sec when the result is sized) is
+    additionally persisted to ``BENCH_results.json``.
     """
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    timing = {}
+
+    def timed(*call_args, **call_kwargs):
+        started = time.perf_counter()
+        result = function(*call_args, **call_kwargs)
+        timing["seconds"] = time.perf_counter() - started
+        return result
+
+    result = benchmark.pedantic(timed, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    record_bench(benchmark.name, timing["seconds"], _cell_count(result))
+    return result
 
 
 def emit(name: str, text: str) -> None:

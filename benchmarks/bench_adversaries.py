@@ -6,60 +6,37 @@ engine's adversary family — fair round-robin, random interleaving, two
 starvation strategies and the greedy meeting-avoiding adversary with a sweep
 of its patience parameter — on a ring and on a random graph.
 
-The scheduler/patience pairs are not a rectangular grid, so the benchmark
-enumerates explicit :class:`~repro.runtime.spec.ScenarioSpec` cells and
-hands them to :func:`~repro.runtime.executors.run_sweep` — the runtime
-accepts any iterable of scenarios.
+The scheduler/patience pairs are not a rectangular grid, so the registered
+E5 :class:`ExperimentSpec` carries explicit cells; the benchmark builds one
+spec per graph family and runs both through
+:func:`~repro.analysis.experiment_spec.run_experiment`.
 """
 
 from __future__ import annotations
 
-from repro.runtime import ScenarioSpec
-from repro.runtime.executors import run_sweep
+from repro.analysis.experiment_spec import experiment_spec, run_experiment
 
 from ._harness import emit, run_once
 
 
-def ablation_cells(family, n, patiences, seed=0):
-    """One rendezvous cell per adversary (the avoider sweeps its patience)."""
-    pairs = [("round_robin", 1), ("random", 1), ("lazy", 1), ("delay_until_stop", 1)]
-    pairs += [("avoider", patience) for patience in patiences]
-    return [
-        ScenarioSpec(
-            problem="rendezvous",
-            family=family,
-            size=n,
-            seed=seed,
-            labels=(6, 11),
-            scheduler=scheduler,
-            scheduler_params={"patience": patience},
-            max_traversals=1_000_000,
-            name="e5-adversary-ablation",
-        )
-        for scheduler, patience in pairs
-    ]
-
-
-#: Table columns: ``patience`` resolves through the spec's scheduler
-#: parameters, so the avoider's sweep stays visible in the artifact.
-FIELDS = ("scheduler", "patience", "family", "n", "ok", "cost", "decisions")
-
-
 def test_adversary_ablation_ring(benchmark, sim_model):
-    cells = ablation_cells("ring", 10, patiences=(4, 16, 64, 256))
-    result = run_once(benchmark, run_sweep, cells, model=sim_model)
-    emit(
-        "e5_adversaries_ring",
-        result.table(FIELDS, title="E5: adversary ablation (RV-asynch-poly, ring)"),
+    spec = experiment_spec(
+        "E5", family="ring", n=10, patiences=(4, 16, 64, 256), max_traversals=1_000_000
     )
-    assert result.all_ok
+    result = run_once(benchmark, run_experiment, spec, model=sim_model)
+    emit("e5_adversaries_ring", result.render())
+    assert result.result.all_ok
 
 
 def test_adversary_ablation_random_graph(benchmark, sim_model):
-    cells = ablation_cells("erdos_renyi", 10, patiences=(16, 64), seed=3)
-    result = run_once(benchmark, run_sweep, cells, model=sim_model)
-    emit(
-        "e5_adversaries_random_graph",
-        result.table(FIELDS, title="E5: adversary ablation (RV-asynch-poly, random graph)"),
+    spec = experiment_spec(
+        "E5",
+        family="erdos_renyi",
+        n=10,
+        patiences=(16, 64),
+        max_traversals=1_000_000,
+        seed=3,
     )
-    assert result.all_ok
+    result = run_once(benchmark, run_experiment, spec, model=sim_model)
+    emit("e5_adversaries_random_graph", result.render())
+    assert result.result.all_ok

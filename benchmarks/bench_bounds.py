@@ -5,14 +5,14 @@ baseline guarantee over a grid of sizes and labels, classifies their growth,
 and reports where the crossover falls.  Also sweeps the exponent of the
 exploration polynomial ``P`` (the ablation called out in DESIGN.md).
 
-The guarantee grid runs through the scenario runtime's ``"bounds"`` problem
-kind — each (n, L) pair is a :class:`~repro.runtime.spec.ScenarioSpec` cell
-whose record carries both bounds in its extra bag — so bound tables sweep,
-cache and store exactly like measured ones.
+The guarantee grid is the registered E3 :class:`ExperimentSpec` (the
+``"bounds"`` problem kind, one cell per (n, L)); the ablation keeps driving
+``run_sweep`` directly because each exponent needs its own live cost model.
 """
 
 from __future__ import annotations
 
+from repro.analysis.experiment_spec import experiment_spec, run_experiment
 from repro.analysis.fitting import fit_power_law
 from repro.exploration.cost_model import PaperCostModel
 from repro.runtime import ScenarioSpec
@@ -23,48 +23,21 @@ from ._harness import emit, run_once
 SIZES = (2, 4, 8, 16, 32)
 LABELS = (1, 2, 4, 8, 16, 32, 64)
 
-
-def bound_cells(sizes=SIZES, labels=LABELS):
-    """One ``bounds`` cell per (n, L): agents carry labels L and L + 1."""
-    return [
-        ScenarioSpec(
-            problem="bounds",
-            family="path",
-            size=n,
-            labels=(label, label + 1),
-            cost_model="paper",
-            name="e3-bound-scaling",
-        )
-        for n in sizes
-        for label in labels
-    ]
-
-
-FIELDS = ("n", "label_small", "label_length", "rv_bound", "baseline_bound")
+SPEC = experiment_spec("E3", sizes=SIZES, labels=LABELS)
 
 
 def test_bound_scaling(benchmark, paper_model):
-    result = run_once(benchmark, run_sweep, bound_cells(), model=paper_model)
-    emit(
-        "e3_bound_scaling",
-        result.table(
-            FIELDS,
-            title="E3: worst-case guarantees (Theorem 3.1 vs the exponential baseline)",
-        ),
-    )
+    result = run_once(benchmark, run_experiment, SPEC, model=paper_model)
+    emit("e3_bound_scaling", result.render())
     # The crossover: for long enough labels the polynomial guarantee wins.
-    largest_label = max(record.extra_dict["label_small"] for record in result)
-    for record in result:
-        extra = record.extra_dict
-        if extra["label_small"] == largest_label:
-            assert extra["baseline_bound"] > extra["rv_bound"]
+    largest_label = max(row["label"] for row in result.rows)
+    for row in result.rows:
+        if row["label"] == largest_label:
+            assert row["baseline_bound"] > row["rv_bound"]
     # The RV bound depends on the label only through its length.
     by_length = {}
-    for record in result:
-        extra = record.extra_dict
-        by_length.setdefault((record.graph_size, extra["label_length"]), set()).add(
-            extra["rv_bound"]
-        )
+    for row in result.rows:
+        by_length.setdefault((row["n"], row["label_length"]), set()).add(row["rv_bound"])
     assert all(len(values) == 1 for values in by_length.values())
 
 

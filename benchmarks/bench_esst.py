@@ -4,48 +4,32 @@ Theorem 2.1: the procedure terminates after a number of edge traversals
 polynomial in the size of the graph, having traversed every edge; the final
 phase index exceeds the size and is at most ``9n + 3``.
 
-The benchmark declares the grid as a :class:`~repro.runtime.spec.SweepSpec`
-and executes it with :func:`~repro.runtime.executors.run_sweep` — the same
-facade as the CLI and the E4 experiment driver, so the sweep can opt into a
-result store.
+The benchmark runs the registered E4 :class:`ExperimentSpec` (with one extra
+graph size) through :func:`~repro.analysis.experiment_spec.run_experiment`,
+then fits the growth of the measured cost on rings.
 """
 
 from __future__ import annotations
 
+from repro.analysis.experiment_spec import experiment_spec, run_experiment
 from repro.analysis.fitting import fit_power_law
-from repro.runtime import SweepSpec
-from repro.runtime.executors import run_sweep
 
 from ._harness import emit, run_once
 
-SWEEP = SweepSpec(
-    problems=("esst",),
-    families=("ring", "path", "erdos_renyi"),
-    sizes=(4, 5, 6, 7, 8),
-    name="e4-esst-scaling",
-)
-
-FIELDS = ("family", "n", "graph_edges", "final_phase", "phase_bound", "cost", "ok")
+SPEC = experiment_spec("E4", sizes=(4, 5, 6, 7, 8))
 
 
 def test_esst_scaling(benchmark, sim_model):
-    result = run_once(benchmark, run_sweep, SWEEP, model=sim_model)
-    emit(
-        "e4_esst_scaling",
-        result.table(
-            FIELDS,
-            title="E4: Procedure ESST (exploration with a semi-stationary token)",
-        ),
-    )
-    assert result.all_ok
-    for record in result:
-        extra = record.extra_dict
-        assert extra["final_phase"] <= extra["phase_bound"]
-        assert extra["final_phase"] > record.graph_size
+    result = run_once(benchmark, run_experiment, SPEC, model=sim_model)
+    emit("e4_esst_scaling", result.render())
+    assert result.result.all_ok
+    for row in result.rows:
+        assert row["final_phase"] <= row["phase_bound"]
+        assert row["final_phase"] > row["n"]
 
-    ring_records = sorted(result.filter(family="ring"), key=lambda r: r.graph_size)
-    fit = fit_power_law(
-        [r.graph_size for r in ring_records], [r.cost for r in ring_records]
+    ring_rows = sorted(
+        (row for row in result.rows if row["family"] == "ring"), key=lambda row: row["n"]
     )
+    fit = fit_power_law([row["n"] for row in ring_rows], [row["cost"] for row in ring_rows])
     print(f"\nESST cost on rings grows like n^{fit.slope:.1f} (a polynomial)")
     assert fit.slope < 12  # comfortably polynomial

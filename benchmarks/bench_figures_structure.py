@@ -5,45 +5,30 @@ Y'(k, v), Z(k, v) and A'(k, v); the benchmark rebuilds those decompositions
 (component lists, repetition counts and exact lengths) and prints them.
 
 Each (kind, k) pair is a cell of the scenario runtime's ``"figures"``
-problem kind — the trajectory parameters travel in the spec's generic
-``problem_params`` bag — so even this pure-structure table sweeps and
-caches through the same facade as the measured experiments.
+problem kind; the registered F1 :class:`ExperimentSpec` (here with ``k`` up
+to 5) sweeps, aggregates and renders them through the same pipeline as the
+measured experiments.
 """
 
 from __future__ import annotations
 
-from repro.runtime import ScenarioSpec
-from repro.runtime.executors import run_sweep
+from repro.analysis.experiment_spec import experiment_spec, run_experiment
 
 from ._harness import emit, run_once
 
-KINDS = ("Q", "Y'", "Z", "A'")
 KS = (1, 2, 3, 4, 5)
 
-_FIGURE_OF_KIND = {"Q": "Figure 1", "Y'": "Figure 2", "Z": "Figure 3", "A'": "Figure 4"}
-
-
-def figure_cells(kinds=KINDS, ks=KS):
-    return [
-        ScenarioSpec(
-            problem="figures",
-            family="ring",
-            size=4,
-            problem_params={"kind": kind, "k": k},
-            name="f1-f4-figure-structures",
-        )
-        for kind in kinds
-        for k in ks
-    ]
+SPEC = experiment_spec("F1", ks=KS)
 
 
 def test_figures_structure(benchmark, sim_model):
-    result = run_once(benchmark, run_sweep, figure_cells(), model=sim_model)
-    assert {record.extra_dict["kind"] for record in result} == set(_FIGURE_OF_KIND)
-    table = result.table(
-        ("kind", "k", "cost", "components", "composition"),
-        title="F1-F4: structure of the trajectory constructions (paper Figures 1-4)",
-    )
-    emit("f1_f4_figure_structures", table)
-    assert len(result) == len(KINDS) * len(KS)
-    assert all(record.cost > 0 for record in result)
+    result = run_once(benchmark, run_experiment, SPEC, model=sim_model)
+    assert {row["figure"] for row in result.rows} == {
+        "Figure 1",
+        "Figure 2",
+        "Figure 3",
+        "Figure 4",
+    }
+    emit("f1_f4_figure_structures", result.render())
+    assert len(result.rows) == 4 * len(KS)
+    assert all(row["length"] > 0 for row in result.rows)

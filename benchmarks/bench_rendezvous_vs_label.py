@@ -6,79 +6,48 @@ delay-until-stop adversary, and tabulates the worst-case guarantees next to
 the measurements: the baseline's guarantee grows exponentially in ``L``, the
 paper's bound ``Π(n, |L|)`` only polynomially in the *length* of ``L``.
 
-The benchmark drives the scenario runtime directly: the label sweep is a
-:class:`~repro.runtime.spec.SweepSpec` executed with
-:func:`~repro.runtime.executors.run_sweep`, so it can opt into a result
-store (``run_sweep(..., store=...)``) exactly like the experiment drivers.
+The benchmark runs the registered E2 :class:`ExperimentSpec` (with a longer
+label grid than the default table): the sweep, the derived
+``guaranteed_bound`` column and the rendering all come from the declarative
+pipeline, and the growth assertions read the aggregated rows.
 """
 
 from __future__ import annotations
 
+from repro.analysis.experiment_spec import experiment_spec, run_experiment
 from repro.analysis.fitting import classify_growth
-from repro.analysis.tables import format_table
-from repro.runtime import SweepSpec
-from repro.runtime.executors import run_sweep
 
 from ._harness import emit, run_once
 
 SMALL_LABELS = (1, 2, 4, 8, 16, 32, 64)
 
-SWEEP = SweepSpec(
-    problems=("rendezvous", "baseline"),
-    families=("ring",),
-    sizes=(6,),
-    schedulers=("delay_until_stop",),
-    label_sets=tuple((label, label + 1) for label in SMALL_LABELS),
+SPEC = experiment_spec(
+    "E2",
+    small_labels=SMALL_LABELS,
     max_traversals=1_000_000,
-    name="e2-rendezvous-vs-label",
 )
 
 
-def _guaranteed_bound(record, model):
-    """Π(n, |L|) for RV-asynch-poly, the full trajectory length for the baseline."""
-    label = record.spec.labels[0]
-    if record.problem == "rendezvous":
-        return model.pi_bound(record.graph_size, label.bit_length())
-    return model.baseline_trajectory_length(record.graph_size, label)
-
-
 def test_rendezvous_vs_label(benchmark, sim_model):
-    result = run_once(benchmark, run_sweep, SWEEP, model=sim_model)
-    assert result.all_ok
+    result = run_once(benchmark, run_experiment, SPEC, model=sim_model)
+    assert result.result.all_ok
 
-    rows = []
     bounds = {}
-    for record in result:
-        label = record.spec.labels[0]
-        bound = _guaranteed_bound(record, sim_model)
-        bounds.setdefault(record.problem, []).append((label, bound))
-        rows.append(
-            [
-                label,
-                label.bit_length(),
-                record.problem,
-                "yes" if record.ok else "no",
-                record.cost,
-                bound,
-            ]
+    for row in result.rows:
+        bounds.setdefault(row["algorithm"], []).append(
+            (row["label_small"], row["guaranteed_bound"])
         )
-    table = format_table(
-        ["label_small", "label_length", "algorithm", "met", "measured_cost", "guaranteed_bound"],
-        rows,
-        title="E2: cost vs label (measured under the delay-until-stop adversary, plus guarantees)",
-    )
-
     growth = {
-        problem: classify_growth(
+        algorithm: classify_growth(
             [label for label, _ in sorted(pairs)], [bound for _, bound in sorted(pairs)]
         )
-        for problem, pairs in bounds.items()
+        for algorithm, pairs in bounds.items()
     }
     emit(
         "e2_rendezvous_vs_label",
-        table
+        result.render()
         + f"\n\nguarantee growth in the label: baseline={growth['baseline']}, "
-        f"rv={growth['rendezvous']}",
+        f"rv={growth['rv_asynch_poly']}",
     )
     assert growth["baseline"] == "exponential"
-    assert growth["rendezvous"] == "polynomial"
+    assert growth["rv_asynch_poly"] == "polynomial"

@@ -4,36 +4,29 @@ Runs Algorithm RV-asynch-poly and the exponential baseline on rings and
 random graphs of increasing size, under a fair and an adversarial scheduler,
 and prints the measured cost-to-meeting table.
 
-The benchmark drives the scenario runtime directly: it declares the grid as
-a :class:`~repro.runtime.spec.SweepSpec` and executes it with
-:func:`~repro.runtime.executors.run_sweep`, which is exactly what the
-experiment driver and the ``repro sweep`` CLI do.
+The benchmark runs the registered E1 :class:`ExperimentSpec` (with a wider
+size grid than the default table) through
+:func:`~repro.analysis.experiment_spec.run_experiment` — exactly what
+``repro experiment E1`` does — so the printed artifact is the experiment's
+own table.
 """
 
 from __future__ import annotations
 
-from repro.runtime import SweepSpec
-from repro.runtime.executors import run_sweep
+from repro.analysis.experiment_spec import experiment_spec, run_experiment
 
 from ._harness import emit, run_once
 
-SWEEP = SweepSpec(
-    problems=("rendezvous", "baseline"),
-    families=("ring", "erdos_renyi"),
+SPEC = experiment_spec(
+    "E1",
     sizes=(4, 6, 8, 10, 12, 16),
-    schedulers=("round_robin", "avoider"),
-    label_sets=((6, 11),),
     max_traversals=1_000_000,
-    name="e1-rendezvous-vs-size",
 )
 
 
 def test_rendezvous_vs_size(benchmark, sim_model):
-    result = run_once(benchmark, run_sweep, SWEEP, model=sim_model)
-    emit(
-        "e1_rendezvous_vs_size",
-        result.table(title="E1: measured rendezvous cost vs graph size"),
-    )
-    assert result.all_ok
-    rv = result.filter(problem="rendezvous")
+    result = run_once(benchmark, run_experiment, SPEC, model=sim_model)
+    emit("e1_rendezvous_vs_size", result.render())
+    assert result.result.all_ok
+    rv = result.result.filter(problem="rendezvous")
     assert rv.max_cost() <= 1_000_000

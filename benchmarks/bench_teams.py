@@ -5,37 +5,29 @@ output the full label set) as the graph and the team grow, and checks that
 every output is correct — which immediately gives team size, leader election,
 perfect renaming and gossiping.
 
-Both benchmarks run through the scenario runtime: the scaling grid is an
-explicit cell list (team sizes that exceed the built graph are skipped) and
-the gossiping instance is a single declarative
+The scaling grid is the registered E6 :class:`ExperimentSpec` (explicit
+cells: team sizes that exceed the built graph are skipped); the gossiping
+instance is a single declarative
 :class:`~repro.runtime.spec.ScenarioSpec` carrying per-member ``values`` —
 the gossip answers come back in the record's ``value_maps`` extra.
 """
 
 from __future__ import annotations
 
-from repro.analysis.experiments import team_scaling_cells
+from repro.analysis.experiment_spec import experiment_spec, run_experiment
 from repro.runtime import ScenarioSpec
-from repro.runtime.executors import run_sweep
 from repro.runtime.runner import run
 
 from ._harness import emit, run_once
 
-FIELDS = ("family", "n", "team_size", "scheduler", "ok", "cost", "reason")
-
 
 def test_team_scaling(benchmark, sim_model):
-    cells = team_scaling_cells(sizes=(4, 5, 6), team_sizes=(2, 3), max_traversals=8_000_000)
-    result = run_once(benchmark, run_sweep, cells, model=sim_model)
-    emit(
-        "e6_team_scaling",
-        result.table(
-            FIELDS,
-            title="E6: Algorithm SGL / team problems "
-            "(team size, leader election, renaming, gossiping)",
-        ),
+    spec = experiment_spec(
+        "E6", sizes=(4, 5, 6), team_sizes=(2, 3), max_traversals=8_000_000
     )
-    assert result.all_ok
+    result = run_once(benchmark, run_experiment, spec, model=sim_model)
+    emit("e6_team_scaling", result.render())
+    assert result.result.all_ok
 
 
 def test_gossiping_on_a_random_graph(benchmark, sim_model):

@@ -7,13 +7,14 @@ paper's Algorithm RV-asynch-poly guarantees a meeting within ``Π(n, |L_min|)``
 edge traversals — polynomial in the size and in the *length* of the smaller
 label.
 
-This example evaluates both guarantees on a grid of sizes and labels, fits
-their growth, and prints where the crossover lies.  Everything here is exact
-arithmetic on the bound recurrences of §3.2 — no simulation involved — yet
-the grid runs through the scenario runtime like everything else: each
-(n, L) pair is a cell of the ``"bounds"`` problem kind, executed with
-``run_sweep`` against an in-memory result store, so re-aggregating the grid
-a second time executes zero cells.
+This example runs the registered E3 experiment — a frozen
+:class:`~repro.analysis.experiment_spec.ExperimentSpec` bundling the bounds
+sweep, its aggregation pipeline and its render config — over a custom
+size/label grid, against an in-memory result store.  The spec's own table
+(with its growth-classification footers) prints first; the example then
+re-aggregates the same rows into a compact order-of-magnitude view, and
+finally re-runs the experiment to show that a warm store re-renders the
+table with **zero** scenario executions.
 
 Run with::
 
@@ -22,27 +23,14 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis.fitting import classify_growth, fit_power_law
+from repro.analysis.experiment_spec import experiment_spec, run_experiment
 from repro.analysis.tables import format_table
-from repro.runtime import ScenarioSpec
-from repro.runtime.executors import run_sweep
 from repro.store import MemoryStore
 
 SIZES = (4, 8, 16)
 LABELS = (1, 4, 16, 64, 256)
 
-CELLS = [
-    ScenarioSpec(
-        problem="bounds",
-        family="path",  # any family of exactly n nodes; only the size matters
-        size=n,
-        labels=(label, label + 1),
-        cost_model="paper",
-        name="polynomial-vs-exponential",
-    )
-    for n in SIZES
-    for label in LABELS
-]
+SPEC = experiment_spec("E3", sizes=SIZES, labels=LABELS)
 
 
 def _magnitude(value: int) -> str:
@@ -54,52 +42,33 @@ def _magnitude(value: int) -> str:
 
 def main() -> None:
     store = MemoryStore()
-    result = run_sweep(CELLS, store=store)
+    result = run_experiment(SPEC, store=store)
+    print(result.render())
 
-    rows = []
-    for record in result:
-        extra = record.extra_dict
-        rows.append(
-            [
-                record.graph_size,
-                extra["label_small"],
-                extra["label_length"],
-                _magnitude(extra["rv_bound"]),
-                _magnitude(extra["baseline_bound"]),
-                "RV" if extra["rv_bound"] < extra["baseline_bound"] else "baseline",
-            ]
-        )
+    print()
+    rows = [
+        [
+            row["n"],
+            row["label"],
+            row["label_length"],
+            _magnitude(row["rv_bound"]),
+            _magnitude(row["baseline_bound"]),
+            "RV" if row["rv_bound"] < row["baseline_bound"] else "baseline",
+        ]
+        for row in result.rows
+    ]
     print(format_table(
         ["n", "label L", "|L|", "Pi(n, |L|)", "baseline bound", "smaller guarantee"],
         rows,
-        title="Worst-case rendezvous guarantees (Theorem 3.1 vs the exponential baseline)",
+        title="The same rows, re-aggregated as orders of magnitude",
     ))
 
-    at_largest_n = [r for r in result if r.graph_size == max(SIZES)]
-    label_values = [r.extra_dict["label_small"] for r in at_largest_n]
-    print()
-    print("growth in the label at n = %d:" % max(SIZES))
-    print("  RV-asynch-poly: %s"
-          % classify_growth(label_values, [r.extra_dict["rv_bound"] for r in at_largest_n]))
-    print("  baseline:       %s"
-          % classify_growth(label_values, [r.extra_dict["baseline_bound"] for r in at_largest_n]))
-
-    at_smallest_label = sorted(
-        (r for r in result if r.extra_dict["label_small"] == LABELS[0]),
-        key=lambda r: r.graph_size,
-    )
-    fit = fit_power_law(
-        [r.graph_size for r in at_smallest_label],
-        [r.extra_dict["rv_bound"] for r in at_smallest_label],
-    )
-    print(f"\ngrowth of Π in the size (L = {LABELS[0]}): ~ n^{fit.slope:.1f} — a fixed-degree polynomial,")
-    print("whereas the baseline guarantee is multiplied by (2P(n)+1) for every extra unit of L.")
-
-    again = run_sweep(CELLS, store=store)
+    again = run_experiment(SPEC, store=store)
+    assert again.render() == result.render()
     print(
-        f"\n(re-aggregating through the result store: "
-        f"{again.cache_hits}/{len(again)} cells served from cache, "
-        f"{again.executed} executed)"
+        f"\n(re-rendering through the result store: "
+        f"{again.cache_hits}/{len(again.records)} cells served from cache, "
+        f"{again.executed} executed — the table is byte-identical)"
     )
 
 

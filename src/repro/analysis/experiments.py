@@ -1,613 +1,269 @@
-"""Experiment drivers: the reproduction's tables and figures (E1–E6, F1–F4).
+"""Backwards-compatible entry points for the experiment suite (E1–E6, F1–F4).
 
-The paper is a theory paper: its four figures are schematic diagrams of the
-trajectory constructions and its quantitative statements are worst-case
-bounds.  EXPERIMENTS.md defines the derived experiment suite this module
-implements; the benchmark harness (``benchmarks/``) and the CLI call these
-drivers and print their tables.
+The bespoke ~80-line drivers and their seven record dataclasses are gone:
+every experiment is now a frozen, registered
+:class:`~repro.analysis.experiment_spec.ExperimentSpec` (sweep + aggregation
+pipeline + render config) executed by
+:func:`~repro.analysis.experiment_spec.run_experiment`.  This module keeps
+the historical function names as thin wrappers that build the registered
+spec (with the same keyword parameters the old drivers took), run it, and
+return the aggregated **rows** — plain dicts whose keys are the historical
+column names.  The ``*_table()`` companions render those rows through the
+one shared renderer, byte-identical to the tables the old drivers printed.
 
-Every driver returns a list of small record dataclasses so that tests can
-assert on the numbers and benchmarks can both time the run and show the
-table.  Since the scenario-runtime migration the simulation-backed drivers
-(E1, E2, E4, E5, E6) are thin adapters: each builds a
-:class:`~repro.runtime.spec.SweepSpec` grid (or an explicit cell list when
-the sweep is not rectangular), executes it through
-:func:`~repro.runtime.executors.run_sweep`, and converts the uniform
-:class:`~repro.runtime.records.RunRecord` stream into its historical record
-dataclass.  Cell enumeration mirrors the original loop nests, so tables are
-reproduced bit for bit for the same seeds.
+New code should use the spec API directly::
 
-Every simulation-backed driver accepts a ``store`` (any
-:class:`~repro.store.base.ResultStore`): cells already stored are served
-without execution and fresh cells are persisted, so regenerating a table is
-free once its sweep has run anywhere (``repro experiment e1 --store DIR``).
+    from repro.analysis import experiment_spec, run_experiment
+
+    result = run_experiment(experiment_spec("E1", sizes=(4, 6)), store=store)
+    print(result.render())          # or render(result.table, "csv" / "json")
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.executors import Executor
     from ..store.base import ResultStore
 
-from ..core.bounds import compare_bounds
-from ..core.trajectories import trajectory_structure
-from ..exceptions import ReproError
-from ..exploration.cost_model import CostModel, PaperCostModel, default_cost_model
-from ..graphs.families import named_family
-from ..runtime import ScenarioSpec, SweepSpec, run_sweep
-from ..runtime.executors import Executor
-from ..runtime.registry import SCHEDULERS
-from ..sim.schedulers import Scheduler
-from .fitting import classify_growth, fit_power_law
-from .tables import format_records
+from .aggregate import DERIVATIONS, derive, evaluate_footers
+from .experiment_spec import (
+    experiment_spec,
+    run_experiment,
+    team_scaling_cells,
+)
+from .render import TableData, render
 
 __all__ = [
-    "make_scheduler",
-    "SCHEDULER_NAMES",
-    "FigureStructureRecord",
     "figure_structures",
     "figure_structures_table",
-    "RendezvousScalingRecord",
     "rendezvous_vs_size",
     "rendezvous_vs_size_table",
-    "LabelScalingRecord",
     "rendezvous_vs_label",
     "rendezvous_vs_label_table",
-    "BoundRecord",
     "bound_scaling",
     "bound_scaling_table",
-    "ESSTRecord",
     "esst_scaling",
     "esst_scaling_table",
-    "AdversaryRecord",
     "adversary_ablation",
     "adversary_ablation_table",
-    "TeamRecord",
     "team_scaling_cells",
     "team_scaling",
     "team_scaling_table",
 ]
 
-
-# ----------------------------------------------------------------------
-# scheduler names (aliases of the runtime's scheduler registry)
-# ----------------------------------------------------------------------
-#: Names of the adversaries used throughout the experiments, in registration
-#: order.  The registry in :mod:`repro.runtime.registry` is the single source
-#: of truth; this tuple survives for backwards compatibility.
-SCHEDULER_NAMES = tuple(SCHEDULERS.names())
+Row = Dict[str, Any]
 
 
-def make_scheduler(name: str, *, seed: int = 0, patience: int = 64, starved: str = "agent-2") -> Scheduler:
-    """Build one of the named adversaries used throughout the experiments.
-
-    Thin wrapper over ``SCHEDULERS.create`` kept for backwards compatibility;
-    unknown parameters are ignored by the factories that do not use them.
-    """
-    return SCHEDULERS.create(name, seed=seed, patience=patience, starved=starved)
+def _rows(name: str, params: Dict[str, Any], **run_kwargs: Any) -> List[Row]:
+    return run_experiment(experiment_spec(name, **params), **run_kwargs).rows
 
 
-#: Mapping between the experiment suite's algorithm names and the runtime's
-#: problem kinds (the tables say "rv_asynch_poly", the registry "rendezvous").
-_PROBLEM_OF_ALGORITHM = {"rv_asynch_poly": "rendezvous", "baseline": "baseline"}
-_ALGORITHM_OF_PROBLEM = {problem: name for name, problem in _PROBLEM_OF_ALGORITHM.items()}
-
-
-def _problems_for(algorithms: Sequence[str]) -> Tuple[str, ...]:
-    problems = []
-    for algorithm in algorithms:
-        if algorithm not in _PROBLEM_OF_ALGORITHM:
-            raise ReproError(
-                f"unknown algorithm {algorithm!r}; "
-                f"available: {sorted(_PROBLEM_OF_ALGORITHM)}"
-            )
-        problems.append(_PROBLEM_OF_ALGORITHM[algorithm])
-    return tuple(problems)
+def _table(name: str, rows: Iterable[Row]) -> str:
+    """Render rows with the registered experiment's columns, title and
+    footers (footers are re-evaluated, so subsetted rows stay honest)."""
+    spec = experiment_spec(name)
+    rows = [dict(row) for row in rows]
+    return render(
+        TableData(
+            title=spec.title,
+            columns=spec.columns,
+            rows=tuple(rows),
+            footers=tuple(evaluate_footers(rows, spec.footers)),
+        )
+    )
 
 
 # ----------------------------------------------------------------------
 # F1 - F4: structure of the trajectory constructions (Figures 1 - 4)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class FigureStructureRecord:
-    """One row of the figure-structure reproduction (F1–F4)."""
-
-    figure: str
-    kind: str
-    k: int
-    length: int
-    components: int
-    composition: str
-
-
-_FIGURE_OF_KIND = {"Q": "Figure 1", "Y'": "Figure 2", "Z": "Figure 3", "A'": "Figure 4"}
-
-
 def figure_structures(
     ks: Sequence[int] = (1, 2, 3, 4),
-    model: Optional[CostModel] = None,
-) -> List[FigureStructureRecord]:
+    model: Optional[Any] = None,
+) -> List[Row]:
     """Decompose Q, Y', Z and A' exactly as the paper's Figures 1–4 draw them."""
-    model = model if model is not None else default_cost_model()
-    records: List[FigureStructureRecord] = []
-    for kind in ("Q", "Y'", "Z", "A'"):
-        for k in ks:
-            structure = trajectory_structure(kind, k, model)
-            components = structure["components"]
-            if kind in ("Q", "Z"):
-                composition = " ".join(
-                    f"{component['kind']}({component['k']})" for component in components
-                )
-            else:
-                inner = components[0]
-                composition = (
-                    f"{inner['kind']}({inner['k']}) at each of the "
-                    f"{inner['repetitions']} trunk nodes + {structure['trunk_length']} trunk edges"
-                )
-            records.append(
-                FigureStructureRecord(
-                    figure=_FIGURE_OF_KIND[kind],
-                    kind=kind,
-                    k=k,
-                    length=structure["length"],
-                    components=len(components),
-                    composition=composition,
-                )
-            )
-    return records
+    return _rows("F1", {"ks": tuple(ks)}, model=model)
 
 
-def figure_structures_table(records: Iterable[FigureStructureRecord]) -> str:
-    """Render the F1–F4 records as a table."""
-    return format_records(
-        records,
-        ["figure", "kind", "k", "length", "composition"],
-        title="F1-F4: structure of the trajectory constructions (paper Figures 1-4)",
-    )
+def figure_structures_table(rows: Iterable[Row]) -> str:
+    """Render the F1–F4 rows as a table."""
+    return _table("F1", rows)
 
 
 # ----------------------------------------------------------------------
 # E1: rendezvous cost versus graph size
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class RendezvousScalingRecord:
-    """One measured rendezvous run (experiment E1)."""
-
-    family: str
-    n: int
-    algorithm: str
-    scheduler: str
-    labels: Tuple[int, int]
-    met: bool
-    cost: int
-    decisions: int
-
-
 def rendezvous_vs_size(
     sizes: Sequence[int] = (4, 6, 8, 10, 12),
     family_names: Sequence[str] = ("ring", "erdos_renyi"),
     labels: Tuple[int, int] = (6, 11),
     scheduler_names: Sequence[str] = ("round_robin", "avoider"),
     algorithms: Sequence[str] = ("rv_asynch_poly", "baseline"),
-    model: Optional[CostModel] = None,
+    model: Optional[Any] = None,
     max_traversals: int = 2_000_000,
     seed: int = 0,
-    executor: Optional[Executor] = None,
+    executor: Optional["Executor"] = None,
     store: Optional["ResultStore"] = None,
-) -> List[RendezvousScalingRecord]:
+) -> List[Row]:
     """Measure cost-to-meeting versus graph size (Theorem 3.1, experiment E1)."""
-    model = model if model is not None else default_cost_model()
-    sweep = SweepSpec(
-        problems=_problems_for(algorithms),
-        families=tuple(family_names),
-        sizes=tuple(sizes),
-        seeds=(seed,),
-        schedulers=tuple(scheduler_names),
-        label_sets=(tuple(labels),),
-        max_traversals=max_traversals,
-        name="e1-rendezvous-vs-size",
-    )
-    result = run_sweep(sweep, executor=executor, model=model, store=store)
-    return [
-        RendezvousScalingRecord(
-            family=record.family,
-            n=record.graph_size,
-            algorithm=_ALGORITHM_OF_PROBLEM[record.problem],
-            scheduler=record.scheduler,
-            labels=labels,
-            met=record.ok,
-            cost=record.cost,
-            decisions=record.decisions,
-        )
-        for record in result
-    ]
+    params = {
+        "sizes": tuple(sizes),
+        "families": tuple(family_names),
+        "labels": tuple(labels),
+        "schedulers": tuple(scheduler_names),
+        "algorithms": tuple(algorithms),
+        "max_traversals": max_traversals,
+        "seed": seed,
+    }
+    return _rows("E1", params, model=model, executor=executor, store=store)
 
 
-def rendezvous_vs_size_table(records: Iterable[RendezvousScalingRecord]) -> str:
-    """Render the E1 records as a table."""
-    return format_records(
-        records,
-        ["family", "n", "algorithm", "scheduler", "met", "cost", "decisions"],
-        title="E1: measured rendezvous cost vs graph size",
-    )
+def rendezvous_vs_size_table(rows: Iterable[Row]) -> str:
+    """Render the E1 rows as a table."""
+    return _table("E1", rows)
 
 
 # ----------------------------------------------------------------------
 # E2: rendezvous cost versus label magnitude / label length
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class LabelScalingRecord:
-    """One row of the label-scaling experiment (E2)."""
-
-    label_small: int
-    label_length: int
-    algorithm: str
-    measured_cost: int
-    met: bool
-    guaranteed_bound: int
-
-
 def rendezvous_vs_label(
     small_labels: Sequence[int] = (1, 2, 4, 8, 16, 32),
     big_label_offset: int = 1,
     family: str = "ring",
     n: int = 6,
     scheduler_name: str = "delay_until_stop",
-    model: Optional[CostModel] = None,
-    bound_model: Optional[CostModel] = None,
+    model: Optional[Any] = None,
+    bound_model: Optional[Any] = None,
     max_traversals: int = 2_000_000,
-    executor: Optional[Executor] = None,
+    executor: Optional["Executor"] = None,
     store: Optional["ResultStore"] = None,
-) -> List[LabelScalingRecord]:
+) -> List[Row]:
     """Measure and bound cost as a function of the (smaller) label (experiment E2).
 
-    For every label ``L`` the two agents carry labels ``L`` and ``L + offset``;
-    the measured run uses the requested adversary, and the guaranteed bound is
-    ``Π(n, |L|)`` for RV-asynch-poly versus ``(2P(n)+1)^L · 2P(n)`` for the
-    naive exponential baseline (its full trajectory length).
+    ``bound_model`` optionally overrides the cost model used for the
+    ``guaranteed_bound`` column only (the historical signature); by default
+    the bounds use the same model as the runs.
     """
-    model = model if model is not None else default_cost_model()
-    bound_model = bound_model if bound_model is not None else model
-    sweep = SweepSpec(
-        problems=("rendezvous", "baseline"),
-        families=(family,),
-        sizes=(n,),
-        schedulers=(scheduler_name,),
-        label_sets=tuple((label, label + big_label_offset) for label in small_labels),
-        max_traversals=max_traversals,
-        name="e2-rendezvous-vs-label",
-    )
-    result = run_sweep(sweep, executor=executor, model=model, store=store)
-    records: List[LabelScalingRecord] = []
-    for record in result:
-        label = record.spec.labels[0]
-        if record.problem == "rendezvous":
-            bound = bound_model.pi_bound(record.graph_size, label.bit_length())
-        else:
-            bound = bound_model.baseline_trajectory_length(record.graph_size, label)
-        records.append(
-            LabelScalingRecord(
-                label_small=label,
-                label_length=label.bit_length(),
-                algorithm=_ALGORITHM_OF_PROBLEM[record.problem],
-                measured_cost=record.cost,
-                met=record.ok,
-                guaranteed_bound=bound,
-            )
-        )
-    return records
-
-
-def rendezvous_vs_label_table(records: Iterable[LabelScalingRecord]) -> str:
-    """Render the E2 records as a table."""
-    return format_records(
-        records,
-        [
-            "label_small",
-            "label_length",
-            "algorithm",
-            "met",
-            "measured_cost",
+    params = {
+        "small_labels": tuple(small_labels),
+        "big_label_offset": big_label_offset,
+        "family": family,
+        "n": n,
+        "scheduler": scheduler_name,
+        "max_traversals": max_traversals,
+    }
+    rows = _rows("E2", params, model=model, executor=executor, store=store)
+    if bound_model is not None:
+        bound_of = DERIVATIONS.create(
             "guaranteed_bound",
-        ],
-        title="E2: cost vs label (measured under the delay-until-stop adversary, plus guarantees)",
-    )
+            {"problem": "algorithm", "size": "n", "label": "label_small"},
+            bound_model,
+        )
+        rows = derive(rows, "guaranteed_bound", bound_of)
+    return rows
+
+
+def rendezvous_vs_label_table(rows: Iterable[Row]) -> str:
+    """Render the E2 rows as a table."""
+    return _table("E2", rows)
 
 
 # ----------------------------------------------------------------------
 # E3: the analytic bounds (polynomial vs exponential)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class BoundRecord:
-    """One row of the bound-scaling experiment (E3)."""
-
-    n: int
-    label: int
-    label_length: int
-    rv_bound: int
-    baseline_bound: int
-
-
 def bound_scaling(
     sizes: Sequence[int] = (2, 4, 8, 16, 32),
     labels: Sequence[int] = (1, 2, 4, 8, 16, 32),
-    model: Optional[CostModel] = None,
-) -> List[BoundRecord]:
+    model: Optional[Any] = None,
+) -> List[Row]:
     """Tabulate ``Π(n, |L|)`` against the exponential baseline bound (experiment E3)."""
-    model = model if model is not None else PaperCostModel()
-    records = [
-        BoundRecord(
-            n=comparison.n,
-            label=comparison.label,
-            label_length=comparison.label_length,
-            rv_bound=comparison.rv_bound,
-            baseline_bound=comparison.baseline_bound,
-        )
-        for comparison in compare_bounds(sizes, labels, model)
-    ]
-    return records
+    return _rows("E3", {"sizes": tuple(sizes), "labels": tuple(labels)}, model=model)
 
 
-def bound_scaling_table(records: Iterable[BoundRecord]) -> str:
-    """Render the E3 records plus growth classifications."""
-    records = list(records)
-    table = format_records(
-        records,
-        ["n", "label", "label_length", "rv_bound", "baseline_bound"],
-        title="E3: worst-case guarantees (Theorem 3.1 vs the exponential baseline)",
-    )
-    # Growth of the bounds in the label, at the largest graph size.
-    biggest_n = max(record.n for record in records)
-    by_label = sorted(
-        (record for record in records if record.n == biggest_n),
-        key=lambda record: record.label,
-    )
-    lines = [table, ""]
-    if len(by_label) >= 3:
-        labels = [record.label for record in by_label]
-        rv = [record.rv_bound for record in by_label]
-        baseline = [record.baseline_bound for record in by_label]
-        lines.append(
-            f"growth in the label at n={biggest_n}: "
-            f"RV-asynch-poly -> {classify_growth(labels, rv)}, "
-            f"baseline -> {classify_growth(labels, baseline)}"
-        )
-    by_size = sorted(
-        {record.n: record for record in records if record.label == records[0].label}.values(),
-        key=lambda record: record.n,
-    )
-    if len(by_size) >= 3:
-        sizes = [record.n for record in by_size]
-        rv = [record.rv_bound for record in by_size]
-        fit = fit_power_law(sizes, rv)
-        lines.append(
-            f"growth in the size at L={records[0].label}: "
-            f"RV-asynch-poly bound ~ n^{fit.slope:.1f} (a polynomial)"
-        )
-    return "\n".join(lines)
+def bound_scaling_table(rows: Iterable[Row]) -> str:
+    """Render the E3 rows plus growth classifications."""
+    return _table("E3", rows)
 
 
 # ----------------------------------------------------------------------
 # E4: ESST cost versus graph size (Theorem 2.1)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class ESSTRecord:
-    """One stand-alone ESST run (experiment E4)."""
-
-    family: str
-    n: int
-    edges: int
-    final_phase: int
-    phase_bound: int
-    cost: int
-    all_edges_traversed: bool
-
-
 def esst_scaling(
     sizes: Sequence[int] = (4, 5, 6, 7),
     family_names: Sequence[str] = ("ring", "path", "erdos_renyi"),
-    model: Optional[CostModel] = None,
+    model: Optional[Any] = None,
     seed: int = 0,
-    executor: Optional[Executor] = None,
+    executor: Optional["Executor"] = None,
     store: Optional["ResultStore"] = None,
-) -> List[ESSTRecord]:
+) -> List[Row]:
     """Measure Procedure ESST cost and termination phase versus graph size (E4)."""
-    model = model if model is not None else default_cost_model()
-    sweep = SweepSpec(
-        problems=("esst",),
-        families=tuple(family_names),
-        sizes=tuple(sizes),
-        seeds=(seed,),
-        name="e4-esst-scaling",
-    )
-    result = run_sweep(sweep, executor=executor, model=model, store=store)
-    return [
-        ESSTRecord(
-            family=record.family,
-            n=record.graph_size,
-            edges=record.graph_edges,
-            final_phase=record.extra_dict["final_phase"],
-            phase_bound=record.extra_dict["phase_bound"],
-            cost=record.cost,
-            all_edges_traversed=record.ok,
-        )
-        for record in result
-    ]
+    params = {"sizes": tuple(sizes), "families": tuple(family_names), "seed": seed}
+    return _rows("E4", params, model=model, executor=executor, store=store)
 
 
-def esst_scaling_table(records: Iterable[ESSTRecord]) -> str:
-    """Render the E4 records as a table."""
-    return format_records(
-        records,
-        ["family", "n", "edges", "final_phase", "phase_bound", "cost", "all_edges_traversed"],
-        title="E4: Procedure ESST (exploration with a semi-stationary token)",
-    )
+def esst_scaling_table(rows: Iterable[Row]) -> str:
+    """Render the E4 rows as a table."""
+    return _table("E4", rows)
 
 
 # ----------------------------------------------------------------------
 # E5: adversary ablation
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class AdversaryRecord:
-    """One rendezvous run under one adversary (experiment E5)."""
-
-    scheduler: str
-    patience: int
-    family: str
-    n: int
-    met: bool
-    cost: int
-    decisions: int
-
-
 def adversary_ablation(
     family: str = "ring",
     n: int = 8,
     labels: Tuple[int, int] = (6, 11),
     patiences: Sequence[int] = (4, 16, 64, 256),
-    model: Optional[CostModel] = None,
+    model: Optional[Any] = None,
     max_traversals: int = 2_000_000,
     seed: int = 0,
-    executor: Optional[Executor] = None,
+    executor: Optional["Executor"] = None,
     store: Optional["ResultStore"] = None,
-) -> List[AdversaryRecord]:
-    """Compare adversaries, including a patience sweep for the avoiding one (E5).
-
-    The scheduler/patience pairs are not a rectangular grid (only the avoider
-    sweeps its patience), so this driver enumerates explicit scenario cells
-    instead of a :class:`SweepSpec`.
-    """
-    model = model if model is not None else default_cost_model()
-    pairs = [("round_robin", 0), ("random", 0), ("lazy", 0), ("delay_until_stop", 0)]
-    pairs += [("avoider", patience) for patience in patiences]
-    cells = [
-        ScenarioSpec(
-            problem="rendezvous",
-            family=family,
-            size=n,
-            seed=seed,
-            labels=tuple(labels),
-            scheduler=scheduler_name,
-            scheduler_params={"patience": max(patience, 1)},
-            max_traversals=max_traversals,
-            name="e5-adversary-ablation",
-        )
-        for scheduler_name, patience in pairs
-    ]
-    result = run_sweep(cells, executor=executor, model=model, store=store)
-    return [
-        AdversaryRecord(
-            scheduler=scheduler_name,
-            patience=patience,
-            family=family,
-            n=record.graph_size,
-            met=record.ok,
-            cost=record.cost,
-            decisions=record.decisions,
-        )
-        for (scheduler_name, patience), record in zip(pairs, result)
-    ]
+) -> List[Row]:
+    """Compare adversaries, including a patience sweep for the avoiding one (E5)."""
+    params = {
+        "family": family,
+        "n": n,
+        "labels": tuple(labels),
+        "patiences": tuple(patiences),
+        "max_traversals": max_traversals,
+        "seed": seed,
+    }
+    return _rows("E5", params, model=model, executor=executor, store=store)
 
 
-def adversary_ablation_table(records: Iterable[AdversaryRecord]) -> str:
-    """Render the E5 records as a table."""
-    return format_records(
-        records,
-        ["scheduler", "patience", "family", "n", "met", "cost", "decisions"],
-        title="E5: adversary ablation (RV-asynch-poly)",
-    )
+def adversary_ablation_table(rows: Iterable[Row]) -> str:
+    """Render the E5 rows as a table."""
+    return _table("E5", rows)
 
 
 # ----------------------------------------------------------------------
 # E6: the multi-agent problems (Theorem 4.1)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class TeamRecord:
-    """One Algorithm-SGL run for a team (experiment E6)."""
-
-    family: str
-    n: int
-    team_size: int
-    scheduler: str
-    correct: bool
-    cost: int
-    reason: str
-
-
-def team_scaling_cells(
-    sizes: Sequence[int] = (5, 6),
-    team_sizes: Sequence[int] = (2, 3),
-    family: str = "ring",
-    scheduler_name: str = "round_robin",
-    max_traversals: int = 6_000_000,
-    seed: int = 0,
-) -> List[ScenarioSpec]:
-    """The E6 grid as explicit cells (not rectangular: team sizes that
-    exceed the actually built graph are skipped).  Shared by the experiment
-    driver and the E6 benchmark so the skip rule lives in one place."""
-    cells: List[ScenarioSpec] = []
-    for n in sizes:
-        graph_size = named_family(family, n, rng_seed=seed).size
-        for k in team_sizes:
-            if k > graph_size:
-                continue
-            cells.append(
-                ScenarioSpec(
-                    problem="teams",
-                    family=family,
-                    size=n,
-                    seed=seed,
-                    team_size=k,
-                    scheduler=scheduler_name,
-                    max_traversals=max_traversals,
-                    name="e6-team-scaling",
-                )
-            )
-    return cells
-
-
 def team_scaling(
     sizes: Sequence[int] = (5, 6),
     team_sizes: Sequence[int] = (2, 3),
     family: str = "ring",
     scheduler_name: str = "round_robin",
-    model: Optional[CostModel] = None,
+    model: Optional[Any] = None,
     max_traversals: int = 6_000_000,
     seed: int = 0,
-    executor: Optional[Executor] = None,
+    executor: Optional["Executor"] = None,
     store: Optional["ResultStore"] = None,
-) -> List[TeamRecord]:
+) -> List[Row]:
     """Measure Algorithm SGL (hence all four §4 problems) versus n and k (E6)."""
-    model = model if model is not None else default_cost_model()
-    cells = team_scaling_cells(
-        sizes=sizes,
-        team_sizes=team_sizes,
-        family=family,
-        scheduler_name=scheduler_name,
-        max_traversals=max_traversals,
-        seed=seed,
-    )
-    result = run_sweep(cells, executor=executor, model=model, store=store)
-    return [
-        TeamRecord(
-            family=record.family,
-            n=record.graph_size,
-            team_size=record.spec.team_size,
-            scheduler=record.scheduler,
-            correct=record.ok,
-            cost=record.cost,
-            reason=record.reason,
-        )
-        for record in result
-    ]
+    params = {
+        "sizes": tuple(sizes),
+        "team_sizes": tuple(team_sizes),
+        "family": family,
+        "scheduler": scheduler_name,
+        "max_traversals": max_traversals,
+        "seed": seed,
+    }
+    return _rows("E6", params, model=model, executor=executor, store=store)
 
 
-def team_scaling_table(records: Iterable[TeamRecord]) -> str:
-    """Render the E6 records as a table."""
-    return format_records(
-        records,
-        ["family", "n", "team_size", "scheduler", "correct", "cost", "reason"],
-        title="E6: Algorithm SGL / team problems (team size, leader election, renaming, gossiping)",
-    )
+def team_scaling_table(rows: Iterable[Row]) -> str:
+    """Render the E6 rows as a table."""
+    return _table("E6", rows)

@@ -43,10 +43,15 @@ Run Algorithm SGL (and hence the four team problems) for 3 agents::
 
     repro teams --family ring --size 6 --team-size 3
 
-Regenerate an experiment table::
+Regenerate experiment tables (spec-driven: every table is a registered
+:class:`~repro.analysis.experiment_spec.ExperimentSpec`; with ``--store``
+a warm invocation re-renders without executing a single scenario)::
 
-    repro experiment e3
-    repro experiment f1
+    repro experiment --list
+    repro experiment e3 f1
+    repro experiment E4 --store .repro-store --format csv
+    repro experiment E1 E4 --store .repro-store --format json
+    repro experiment --spec my_experiment.json
 """
 
 from __future__ import annotations
@@ -57,7 +62,13 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .analysis import experiments
+from .analysis.experiment_spec import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    experiment_spec,
+    run_experiment,
+)
+from .analysis.render import FORMATS
 from .analysis.tables import format_table
 from .exceptions import ReproError
 from .runtime import (
@@ -235,18 +246,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     experiment = subparsers.add_parser(
-        "experiment", help="regenerate one of the experiment tables (EXPERIMENTS.md)"
+        "experiment",
+        help="regenerate experiment tables (EXPERIMENTS.md) from registered specs",
     )
     experiment.add_argument(
-        "name",
-        choices=["f1", "e1", "e2", "e3", "e4", "e5", "e6"],
-        help="experiment identifier",
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="registered experiment names (case-insensitive: E1-E6, F1, bounds)",
+    )
+    experiment.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="path to an ExperimentSpec JSON to run instead of a registered name",
+    )
+    experiment.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list the registered experiments and exit",
+    )
+    experiment.add_argument(
+        "--format",
+        choices=list(FORMATS),
+        default="markdown",
+        help="table output format (default: markdown)",
     )
     experiment.add_argument(
         "--store",
         metavar="DIR",
         default=None,
-        help="result store for the simulation-backed experiments (e1/e2/e4/e5/e6)",
+        help="result store: cells already stored are served without execution",
+    )
+    experiment.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve cells already in the store without executing them (default: on)",
+    )
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the underlying sweep (default: 1)",
     )
 
     store_cmd = subparsers.add_parser(
@@ -266,6 +309,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_dir(store_ls)
     store_ls.add_argument("--problem", default=None, help="filter by problem kind")
     store_ls.add_argument("--family", default=None, help="filter by graph family")
+    store_ls.add_argument("--scheduler", default=None, help="filter by adversary name")
+    store_ls.add_argument(
+        "--n-min", type=int, default=None, help="smallest graph size to list (inclusive)"
+    )
+    store_ls.add_argument(
+        "--n-max", type=int, default=None, help="largest graph size to list (inclusive)"
+    )
 
     store_show = store_sub.add_parser("show", help="print one stored record as JSON")
     add_store_dir(store_show)
@@ -457,36 +507,37 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_experiment(args: argparse.Namespace) -> int:
-    name = args.name
+    if args.list_experiments:
+        rows = []
+        for name in EXPERIMENTS.names():
+            spec = experiment_spec(name)
+            rows.append([name, len(spec.cell_specs()), spec.title])
+        print(format_table(["name", "cells", "title"], rows, title="registered experiments"))
+        return 0
+    specs = [experiment_spec(name) for name in args.names]
+    if args.spec is not None:
+        specs.append(ExperimentSpec.from_json(Path(args.spec).read_text(encoding="utf-8")))
+    if not specs:
+        print("error: name an experiment, or pass --spec / --list", file=sys.stderr)
+        return 2
     store = None if args.store is None else FileStore(args.store)
-    sweep_kwargs = {} if store is None else {"store": store}
+    executor = make_executor(args.jobs)
     try:
-        if name == "f1":
-            print(experiments.figure_structures_table(experiments.figure_structures()))
-        elif name == "e1":
-            print(
-                experiments.rendezvous_vs_size_table(
-                    experiments.rendezvous_vs_size(**sweep_kwargs)
-                )
+        # Each table prints as soon as it is ready, so a failure in a later
+        # experiment never discards the finished work of earlier ones.
+        for index, spec in enumerate(specs):
+            result = run_experiment(
+                spec, store=store, resume=args.resume, executor=executor
             )
-        elif name == "e2":
-            print(
-                experiments.rendezvous_vs_label_table(
-                    experiments.rendezvous_vs_label(**sweep_kwargs)
+            if index:
+                print()
+            print(result.render(args.format))
+            if store is not None:
+                print(
+                    f"experiment {spec.name}: {len(result.records)} cells, "
+                    f"cached {result.cache_hits}, executed {result.executed}",
+                    file=sys.stderr,
                 )
-            )
-        elif name == "e3":
-            print(experiments.bound_scaling_table(experiments.bound_scaling()))
-        elif name == "e4":
-            print(experiments.esst_scaling_table(experiments.esst_scaling(**sweep_kwargs)))
-        elif name == "e5":
-            print(
-                experiments.adversary_ablation_table(
-                    experiments.adversary_ablation(**sweep_kwargs)
-                )
-            )
-        elif name == "e6":
-            print(experiments.team_scaling_table(experiments.team_scaling(**sweep_kwargs)))
     finally:
         if store is not None:
             store.close()
@@ -506,6 +557,13 @@ def _run_store(args: argparse.Namespace) -> int:
                 matches["problem"] = args.problem
             if args.family is not None:
                 matches["family"] = args.family
+            if args.scheduler is not None:
+                matches["scheduler"] = args.scheduler
+            if args.n_min is not None or args.n_max is not None:
+                matches["n_range"] = (
+                    args.n_min if args.n_min is not None else 0,
+                    args.n_max if args.n_max is not None else sys.maxsize,
+                )
             result = store.query(**matches)
             rows = [
                 [

@@ -20,7 +20,25 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 from ..exceptions import ReproError
 from .spec import ScenarioSpec, SweepSpec
 
-__all__ = ["RunRecord", "SweepResult"]
+__all__ = ["RunRecord", "SweepResult", "resolve_field"]
+
+
+def resolve_field(record: "RunRecord", name: str, default: Any = None) -> Any:
+    """Resolve a column name against a record: record attribute, then its
+    ``extra`` bag, then the spec, then the spec's scheduler parameters.
+
+    The single resolution rule shared by :meth:`SweepResult.table` and the
+    aggregation layer's ``extract`` op, so columns like ``"patience"`` or
+    ``"max_traversals"`` behave identically everywhere.
+    """
+    value = getattr(record, name, None)
+    if value is None:
+        value = record.extra_dict.get(name)
+    if value is None:
+        value = getattr(record.spec, name, None)
+    if value is None:
+        value = record.spec.scheduler_kwargs.get(name, default)
+    return value
 
 
 @dataclass(frozen=True)
@@ -278,13 +296,7 @@ class SweepResult:
         for record in self.records:
             row = []
             for name in fields:
-                value = getattr(record, name, None)
-                if value is None:
-                    value = record.extra_dict.get(name)
-                if value is None:
-                    value = getattr(record.spec, name, None)
-                if value is None:
-                    value = record.spec.scheduler_kwargs.get(name, "")
+                value = resolve_field(record, name, default="")
                 if isinstance(value, bool):
                     value = "yes" if value else "no"
                 elif isinstance(value, float):

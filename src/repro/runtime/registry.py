@@ -14,9 +14,11 @@ with the decorator API::
 This replaces the seed repository's triplication of ad-hoc name tables
 (``SCHEDULER_NAMES`` + ``make_scheduler`` in the experiment drivers,
 ``FAMILY_BUILDERS`` in the graph module, per-entry-point dispatch in the
-CLI): those names now alias registries defined here, so a family or
-adversary registered once is immediately usable from specs, the CLI, the
-experiment drivers, the benchmarks and the examples.
+CLI): names resolve strictly through the registries defined here, so a
+family or adversary registered once is immediately usable from specs, the
+CLI, the experiments, the benchmarks and the examples.  The experiment
+layer follows the same pattern with its own registry
+(:data:`repro.analysis.experiment_spec.EXPERIMENTS`).
 
 This module deliberately imports nothing but the exception hierarchy, so it
 can be imported from anywhere in the package without cycles.  Registration

@@ -21,7 +21,7 @@ straight off the store.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..runtime.records import RunRecord, SweepResult
 from ..runtime.spec import ScenarioSpec
@@ -75,6 +75,13 @@ class ResultStore:
             if record is not None:
                 yield record
 
+    def get_many(self, keys: Iterable[KeyLike]) -> List[Optional[RunRecord]]:
+        """The stored records for ``keys``, in argument order (``None`` for
+        misses).  The bulk read behind experiment aggregation: a table's
+        cells come back in the experiment's own cell order, not the
+        backend's."""
+        return [self.get(key) for key in keys]
+
     def __contains__(self, key: object) -> bool:
         return isinstance(key, (str, ScenarioSpec)) and self.get(key) is not None
 
@@ -106,6 +113,7 @@ class ResultStore:
         n_range: Optional[Tuple[int, int]] = None,
         cost_range: Optional[Tuple[int, int]] = None,
         ok: Optional[bool] = None,
+        keys: Optional[Iterable[KeyLike]] = None,
         **matches: Any,
     ) -> SweepResult:
         """Stored records matching the given filters, as a ``SweepResult``.
@@ -114,15 +122,28 @@ class ResultStore:
         and its spec second (the same rule as ``SweepResult.filter``), so
         both ``problem="esst"`` and ``max_traversals=10**6`` work; ``n_range``
         and ``cost_range`` are inclusive ``(lo, hi)`` bounds on the actual
-        graph size and the cost.  Results come back in a canonical order
-        (problem, family, size, seed, scheduler, key) regardless of the
-        backend's on-disk layout, ready for ``.table()`` and
-        ``analysis/tables.py``-style aggregation::
+        graph size and the cost; ``keys`` restricts to a known key set (what
+        experiment aggregation passes).  Results come back in a canonical
+        order (problem, family, size, seed, scheduler, key) regardless of
+        the backend's on-disk layout, ready for ``.table()`` and
+        :mod:`repro.analysis.aggregate`-style aggregation::
 
             store.query(problem="rendezvous", family="ring", n_range=(4, 12))
         """
+        if keys is not None:
+            # Keyed lookups, not a scan: keys are content-hash addresses, so
+            # the cost is O(len(keys)) regardless of how big the store is.
+            seen = set()
+            candidates = []
+            for record in self.get_many(keys):
+                if record is None or record.spec.key() in seen:
+                    continue
+                seen.add(record.spec.key())
+                candidates.append(record)
+        else:
+            candidates = self.records()
         selected = []
-        for record in self.records():
+        for record in candidates:
             if n_range is not None and not (n_range[0] <= record.graph_size <= n_range[1]):
                 continue
             if cost_range is not None and not (cost_range[0] <= record.cost <= cost_range[1]):

@@ -1,0 +1,41 @@
+"""Tests of the benchmark harness's machine-readable metrics file."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks import _harness
+
+
+class TestRecordBench:
+    def test_writes_and_merges_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(_harness, "RESULTS_DIR", tmp_path)
+        monkeypatch.setattr(_harness, "BENCH_RESULTS", tmp_path / "BENCH_results.json")
+
+        _harness.record_bench("bench_a", 2.0, cells=10)
+        _harness.record_bench("bench_b", 0.5)
+        _harness.record_bench("bench_a", 4.0, cells=10)  # re-run overwrites
+
+        results = json.loads((tmp_path / "BENCH_results.json").read_text())
+        assert results["bench_a"] == {"seconds": 4.0, "cells": 10, "cells_per_sec": 2.5}
+        assert results["bench_b"] == {"seconds": 0.5}
+
+    def test_tolerates_a_corrupt_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(_harness, "RESULTS_DIR", tmp_path)
+        monkeypatch.setattr(_harness, "BENCH_RESULTS", tmp_path / "BENCH_results.json")
+        (tmp_path / "BENCH_results.json").write_text("{not json", encoding="utf-8")
+        _harness.record_bench("bench_a", 1.0, cells=2)
+        results = json.loads((tmp_path / "BENCH_results.json").read_text())
+        assert results == {"bench_a": {"seconds": 1.0, "cells": 2, "cells_per_sec": 2.0}}
+
+    def test_cell_count_resolution(self):
+        class Sized:
+            def __len__(self):
+                return 3
+
+        class ExperimentLike:
+            result = Sized()
+
+        assert _harness._cell_count(Sized()) == 3
+        assert _harness._cell_count(ExperimentLike()) == 3
+        assert _harness._cell_count(object()) is None

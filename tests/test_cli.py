@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,11 +22,17 @@ class TestParser:
         assert args.scheduler == "round_robin"
         assert not args.baseline
 
-    def test_experiment_choices(self):
-        args = build_parser().parse_args(["experiment", "e3"])
-        assert args.name == "e3"
+    def test_experiment_flags(self):
+        args = build_parser().parse_args(["experiment", "e3", "F1", "--format", "csv"])
+        assert args.names == ["e3", "F1"]
+        assert args.format == "csv"
+        assert args.resume is True
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["experiment", "e99"])
+            build_parser().parse_args(["experiment", "e3", "--format", "xml"])
+
+    def test_experiment_unknown_name_fails_at_runtime_with_the_registry_error(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -60,6 +68,49 @@ class TestCommands:
         captured = capsys.readouterr()
         assert code == 0
         assert "baseline_bound" in captured.out
+
+    def test_experiment_several_names_at_once(self, capsys):
+        code = main(["experiment", "f1", "e3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Figure 1" in captured.out and "baseline_bound" in captured.out
+
+    def test_experiment_list(self, capsys):
+        code = main(["experiment", "--list"])
+        captured = capsys.readouterr()
+        assert code == 0
+        for name in ("E1", "E6", "F1", "bounds"):
+            assert name in captured.out
+
+    def test_experiment_without_names_errors(self, capsys):
+        assert main(["experiment"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_experiment_csv_and_json_formats(self, capsys):
+        assert main(["experiment", "e3", "--format", "csv"]) == 0
+        csv_out = capsys.readouterr().out
+        assert csv_out.splitlines()[0] == "n,label,label_length,rv_bound,baseline_bound"
+        assert main(["experiment", "e3", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["columns"][0] == "n"
+
+    def test_experiment_spec_file_with_store_warm_pass_executes_nothing(
+        self, tmp_path, capsys
+    ):
+        from repro.analysis.experiment_spec import experiment_spec
+
+        spec = experiment_spec("E3", sizes=(2, 4), labels=(1, 2))
+        spec_file = tmp_path / "exp.json"
+        spec_file.write_text(spec.to_json(), encoding="utf-8")
+        store = str(tmp_path / "store")
+        args = ["experiment", "--spec", str(spec_file), "--store", store, "--format", "json"]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "executed 4" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert "cached 4, executed 0" in warm.err
+        assert cold.out == warm.out
 
     @pytest.mark.sgl
     def test_teams_command(self, capsys):

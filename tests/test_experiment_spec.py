@@ -1,0 +1,145 @@
+"""Tests of ExperimentSpec: round trips, execution, store-backed re-rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiment_spec import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    aggregate_from_store,
+    experiment_spec,
+    run_experiment,
+)
+from repro.analysis.render import TableData, render
+from repro.exceptions import ReproError
+from repro.runtime.spec import ScenarioSpec, SweepSpec
+from repro.store import FileStore, MemoryStore
+
+
+def quick_e3() -> ExperimentSpec:
+    return experiment_spec("E3", sizes=(2, 4, 8), labels=(1, 2, 4))
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS.names()))
+    def test_every_registered_spec_round_trips_through_json(self, name):
+        spec = experiment_spec(name)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_cells_survive_as_scenario_specs(self):
+        spec = ExperimentSpec.from_json(quick_e3().to_json())
+        cells = spec.cell_specs()
+        assert all(isinstance(cell, ScenarioSpec) for cell in cells)
+        assert len(cells) == 9
+
+    def test_sweep_survives_as_sweep_spec(self):
+        spec = ExperimentSpec.from_json(experiment_spec("E1", sizes=(4,)).to_json())
+        assert isinstance(spec.sweep, SweepSpec)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ReproError, match="unknown ExperimentSpec fields"):
+            ExperimentSpec.from_dict({"name": "x", "bogus": 1})
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentSpec.from_json("[1, 2]")
+
+
+class TestValidation:
+    def test_needs_exactly_one_of_sweep_and_cells(self):
+        with pytest.raises(ReproError, match="exactly one"):
+            ExperimentSpec(name="x", columns=("a",)).validate()
+        with pytest.raises(ReproError, match="exactly one"):
+            ExperimentSpec(
+                name="x",
+                columns=("a",),
+                sweep=SweepSpec(),
+                cells=(ScenarioSpec(),),
+            ).validate()
+
+    def test_needs_columns(self):
+        with pytest.raises(ReproError, match="columns"):
+            ExperimentSpec(name="x", sweep=SweepSpec()).validate()
+
+
+class TestRunExperiment:
+    def test_cold_then_warm_is_byte_identical_with_zero_executions(self):
+        store = MemoryStore()
+        spec = quick_e3()
+        cold = run_experiment(spec, store=store)
+        warm = run_experiment(spec, store=store)
+        assert cold.executed == 9 and cold.cache_hits == 0
+        assert warm.executed == 0 and warm.cache_hits == 9
+        for format in ("markdown", "csv", "json"):
+            assert cold.render(format) == warm.render(format)
+
+    def test_by_registered_name(self):
+        result = run_experiment("F1")
+        assert len(result.rows) == 16
+        assert result.render().startswith("F1-F4:")
+
+    def test_aggregate_from_store_never_executes(self, tmp_path):
+        spec = quick_e3()
+        with FileStore(tmp_path / "store") as store:
+            executed = run_experiment(spec, store=store)
+            pure = aggregate_from_store(spec, store)
+            assert pure.executed == 0
+            assert pure.render() == executed.render()
+
+    def test_aggregate_from_store_reports_missing_cells(self):
+        with pytest.raises(ReproError, match="missing from the store"):
+            aggregate_from_store(quick_e3(), MemoryStore())
+
+    def test_store_query_by_keys_returns_the_experiment_cells(self):
+        store = MemoryStore()
+        spec = quick_e3()
+        run_experiment(spec, store=store)
+        # Unrelated record in the same store is filtered out by keys=.
+        other = experiment_spec("F1", ks=(1,))
+        run_experiment(other, store=store)
+        result = store.query(keys=spec.keys())
+        assert len(result) == 9
+        assert {record.problem for record in result} == {"bounds"}
+
+    def test_get_many_preserves_argument_order(self):
+        store = MemoryStore()
+        spec = quick_e3()
+        run_experiment(spec, store=store)
+        keys = spec.keys()
+        records = store.get_many(reversed(keys))
+        assert [record.spec.key() for record in records] == list(reversed(keys))
+
+
+class TestRendering:
+    def test_csv_has_header_and_rows(self):
+        result = run_experiment("F1")
+        lines = result.render("csv").splitlines()
+        assert lines[0] == "figure,kind,k,length,composition"
+        assert len(lines) == 1 + 16
+
+    def test_json_document_shape(self):
+        result = run_experiment(quick_e3())
+        document = json.loads(result.render("json"))
+        assert document["columns"] == ["n", "label", "label_length", "rv_bound", "baseline_bound"]
+        assert len(document["rows"]) == 9
+        assert len(document["footers"]) == 2
+        assert document["title"].startswith("E3:")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ReproError, match="unknown table format"):
+            render(TableData(columns=("a",)), format="xml")
+
+    def test_missing_cells_render_blank_in_markdown_and_csv(self):
+        table = TableData(columns=("a", "b"), rows=({"a": 1, "b": None}, {"a": 2}))
+        markdown = render(table)
+        assert "None" not in markdown
+        assert render(table, "csv").splitlines()[1:] == ["1,", "2,"]
+
+    def test_markdown_footers_render_after_a_blank_line(self):
+        text = run_experiment(quick_e3()).render()
+        body, _, footer_block = text.partition("\n\n")
+        assert "growth in the label" in footer_block
+        assert "rv_bound" in body

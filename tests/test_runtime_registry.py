@@ -98,7 +98,14 @@ class TestGlobalRegistries:
 
         assert FAMILY_BUILDERS is GRAPH_FAMILIES
 
-    def test_scheduler_names_alias_matches_registry(self):
-        from repro.analysis.experiments import SCHEDULER_NAMES
+    def test_scheduler_aliases_are_gone_from_the_experiment_drivers(self):
+        # Schedulers resolve strictly through the runtime registry; the old
+        # SCHEDULER_NAMES / make_scheduler duplication no longer exists.
+        from repro.analysis import experiments
 
-        assert SCHEDULER_NAMES == SCHEDULERS.names()
+        assert not hasattr(experiments, "SCHEDULER_NAMES")
+        assert not hasattr(experiments, "make_scheduler")
+
+    def test_every_registered_scheduler_builds(self):
+        for name in SCHEDULERS.names():
+            assert SCHEDULERS.create(name, seed=0, patience=64, starved="agent-2") is not None

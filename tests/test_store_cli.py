@@ -78,6 +78,34 @@ class TestStoreMaintenance:
         out = capsys.readouterr().out
         assert "rendezvous" in out and "4 records" in out
 
+    def test_ls_size_range_filters(self, store_dir, capsys):
+        assert main(["store", "ls", "--store", store_dir, "--n-max", "4"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if "rendezvous" in line]
+        assert len(rows) == 2  # two seeds at n=4; the n=6 records are filtered
+
+        assert main(["store", "ls", "--store", store_dir, "--n-min", "5", "--n-max", "6"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if "rendezvous" in line]
+        assert len(rows) == 2
+
+        assert main(["store", "ls", "--store", store_dir, "--n-min", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "rendezvous" not in out
+
+    def test_ls_problem_family_scheduler_filters(self, store_dir, capsys):
+        assert main(["store", "ls", "--store", store_dir, "--problem", "esst"]) == 0
+        assert "rendezvous" not in capsys.readouterr().out
+        assert main(["store", "ls", "--store", store_dir, "--family", "ring",
+                     "--scheduler", "round_robin"]) == 0
+        assert "rendezvous" in capsys.readouterr().out
+
+    def test_ls_filter_flags_parse(self):
+        args = build_parser().parse_args(
+            ["store", "ls", "--problem", "esst", "--n-min", "4", "--n-max", "8"]
+        )
+        assert args.problem == "esst" and args.n_min == 4 and args.n_max == 8
+
     def test_ls_filters(self, store_dir, capsys):
         assert main(["store", "ls", "--store", store_dir, "--problem", "esst"]) == 0
         out = capsys.readouterr().out
