@@ -4,34 +4,67 @@ from __future__ import annotations
 
 import json
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 #: Directory in which each benchmark drops the table it regenerated.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-#: Machine-readable per-bench metrics (wall time, cells/sec), merged across
-#: the benchmarks of one run so the perf trajectory is trackable over PRs.
+#: Machine-readable per-bench metrics (wall time, cells/sec).  The file is a
+#: timestamped **history** — one entry appended per benchmark session, never
+#: overwritten — so the perf trajectory accumulates across PRs; ``"latest"``
+#: mirrors the most recent value per benchmark for easy consumption.
 BENCH_RESULTS = RESULTS_DIR / "BENCH_results.json"
+
+#: One history entry per process: every ``record_bench`` call of a pytest
+#: session lands in the same timestamped bucket.
+_SESSION = {"stamp": None}
+
+
+def _load_results() -> dict:
+    """Read ``BENCH_results.json``, upgrading the legacy flat layout.
+
+    Pre-history files were a plain ``{name: entry}`` mapping (overwritten on
+    every run); they become the first history entry with a ``None``
+    timestamp so no measured point is lost in the migration.
+    """
+    try:
+        data = json.loads(BENCH_RESULTS.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {"history": [], "latest": {}}
+    if not isinstance(data, dict):
+        return {"history": [], "latest": {}}
+    if isinstance(data.get("history"), list):
+        data.setdefault("latest", {})
+        return data
+    legacy = {name: entry for name, entry in data.items() if isinstance(entry, dict)}
+    history = [{"timestamp": None, "benches": legacy}] if legacy else []
+    return {"history": history, "latest": dict(legacy)}
 
 
 def record_bench(name: str, seconds: float, cells: int | None = None) -> None:
-    """Merge one benchmark's metrics into ``BENCH_results.json``.
+    """Append one benchmark's metrics to the ``BENCH_results.json`` history.
 
     Each entry carries the wall time of the single measured run and, when
     the benchmark's result is sized (a sweep / experiment), the cell count
-    and throughput.  Read-modify-write keeps entries from other benchmark
-    files of the same session.
+    and throughput.  All ``record_bench`` calls of one process share one
+    timestamped history entry; re-running a benchmark within a session
+    updates its value in place, while a new session appends — earlier
+    sessions are never rewritten.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    try:
-        results = json.loads(BENCH_RESULTS.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
-        results = {}
+    results = _load_results()
+    if _SESSION["stamp"] is None:
+        _SESSION["stamp"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    history = results["history"]
+    if not history or history[-1].get("timestamp") != _SESSION["stamp"]:
+        history.append({"timestamp": _SESSION["stamp"], "benches": {}})
     entry: dict = {"seconds": round(seconds, 6)}
     if cells is not None:
         entry["cells"] = cells
         entry["cells_per_sec"] = round(cells / seconds, 3) if seconds > 0 else None
-    results[name] = entry
+    history[-1]["benches"][name] = entry
+    results["latest"][name] = entry
     BENCH_RESULTS.write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

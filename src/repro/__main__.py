@@ -1,0 +1,14 @@
+"""``python -m repro`` — the CLI without an installed console script.
+
+The queue executor spawns its worker processes this way, so a bare checkout
+(plus ``PYTHONPATH=src``) can run a distributed sweep with no install step.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

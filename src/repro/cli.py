@@ -33,7 +33,18 @@ Inspect and maintain a store::
 
     repro store ls
     repro store show 3fa9c1
-    repro store gc
+    repro store gc --max-records 10000
+
+Run a sweep over the distributed work-queue fabric — one shot (spawns 2
+local worker processes), or as the full dispatch/worker/merge lifecycle
+whose pieces may run on different machines::
+
+    repro sweep --sizes 4 8 12 --seeds 3 --jobs 2 --executor queue
+
+    repro queue dispatch --sizes 4 8 12 --seeds 3 --queue /shared/q
+    repro worker --queue /shared/q          # on any machine, any number
+    repro queue status --queue /shared/q
+    repro store merge /shared/q/results/* --into .repro-store
 
 Run Procedure ESST on a random graph::
 
@@ -79,9 +90,11 @@ from .runtime import (
     ScenarioSpec,
     SweepSpec,
 )
+from .distrib import Dispatcher, Worker, WorkQueue
 from .runtime.executors import make_executor, run_sweep
 from .runtime.runner import run
-from .store import DEFAULT_STORE_DIR, FileStore
+from .store import DEFAULT_STORE_DIR, FileStore, merge_stores
+from .store.merge import ON_CONFLICT_CHOICES
 
 __all__ = ["main", "build_parser"]
 
@@ -173,58 +186,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full RunRecord as JSON instead of a summary",
     )
 
+    def add_grid(sub: argparse.ArgumentParser) -> None:
+        """The sweep-grid flags (shared by ``sweep`` and ``queue dispatch``)."""
+        sub.add_argument(
+            "--spec", default=None, metavar="FILE", help="path to a SweepSpec JSON (overrides the grid flags)"
+        )
+        sub.add_argument(
+            "--problem",
+            default="rendezvous",
+            choices=sorted(PROBLEMS),
+            help="problem kind run at every grid cell (default: rendezvous)",
+        )
+        sub.add_argument(
+            "--family",
+            nargs="+",
+            default=["ring"],
+            choices=sorted(GRAPH_FAMILIES),
+            help="graph families (default: ring)",
+        )
+        sub.add_argument(
+            "--sizes", type=int, nargs="+", default=[6], help="graph sizes (default: 6)"
+        )
+        sub.add_argument(
+            "--schedulers",
+            nargs="+",
+            default=["round_robin"],
+            choices=sorted(SCHEDULERS),
+            help="adversary strategies (default: round_robin)",
+        )
+        sub.add_argument(
+            "--seeds",
+            type=int,
+            default=1,
+            help="number of seeds: the grid uses seeds 0 .. N-1 (default: 1)",
+        )
+        sub.add_argument(
+            "--labels", type=int, nargs="+", default=None, help="agent labels (default: per-problem)"
+        )
+        sub.add_argument(
+            "--team-size", type=int, default=None, help="team size for --problem teams"
+        )
+        sub.add_argument(
+            "--max-traversals",
+            type=int,
+            default=2_000_000,
+            help="per-cell edge-traversal budget (default: 2,000,000)",
+        )
+
     sweep = subparsers.add_parser(
         "sweep", help="run a grid of scenarios (sizes x schedulers x seeds x ...)"
     )
-    sweep.add_argument(
-        "--spec", default=None, metavar="FILE", help="path to a SweepSpec JSON (overrides the grid flags)"
-    )
-    sweep.add_argument(
-        "--problem",
-        default="rendezvous",
-        choices=sorted(PROBLEMS),
-        help="problem kind run at every grid cell (default: rendezvous)",
-    )
-    sweep.add_argument(
-        "--family",
-        nargs="+",
-        default=["ring"],
-        choices=sorted(GRAPH_FAMILIES),
-        help="graph families (default: ring)",
-    )
-    sweep.add_argument(
-        "--sizes", type=int, nargs="+", default=[6], help="graph sizes (default: 6)"
-    )
-    sweep.add_argument(
-        "--schedulers",
-        nargs="+",
-        default=["round_robin"],
-        choices=sorted(SCHEDULERS),
-        help="adversary strategies (default: round_robin)",
-    )
-    sweep.add_argument(
-        "--seeds",
-        type=int,
-        default=1,
-        help="number of seeds: the grid uses seeds 0 .. N-1 (default: 1)",
-    )
-    sweep.add_argument(
-        "--labels", type=int, nargs="+", default=None, help="agent labels (default: per-problem)"
-    )
-    sweep.add_argument(
-        "--team-size", type=int, default=None, help="team size for --problem teams"
-    )
-    sweep.add_argument(
-        "--max-traversals",
-        type=int,
-        default=2_000_000,
-        help="per-cell edge-traversal budget (default: 2,000,000)",
-    )
+    add_grid(sweep)
     sweep.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker processes (1 = serial; default: 1)",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=("serial", "pool", "queue"),
+        default=None,
+        help="execution backend (default: serial for --jobs 1, pool otherwise; "
+        "queue = distributed work-queue with --jobs local worker processes)",
+    )
+    sweep.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help="queue directory for --executor queue (default: a temporary one)",
+    )
+    sweep.add_argument(
+        "--unit-size",
+        type=int,
+        default=4,
+        help="cells per leased work unit for --executor queue (default: 4)",
     )
     sweep.add_argument(
         "--json", metavar="FILE", default=None, help="also write the SweepResult JSON to FILE"
@@ -243,6 +279,74 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="serve cells already in the store without executing them (default: on)",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="drain a distributed work queue (one worker process)"
+    )
+    worker.add_argument(
+        "--queue", required=True, metavar="DIR", help="the work-queue directory"
+    )
+    worker.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="worker shards root: this worker writes its own shard store at "
+        "DIR/<worker-id> (default: QUEUE/results)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="this worker's identity (default: <host>-<pid>); must name at "
+        "most one live process, and a restart under the same id reclaims "
+        "its leases immediately",
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=300.0,
+        help="lease seconds per claimed unit; an expired lease is stolen and "
+        "its partial shard salvaged (default: 300)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds between queue scans while other workers hold the "
+        "remaining units (default: 0.5)",
+    )
+    worker.add_argument(
+        "--max-units", type=int, default=None, help="stop after N units (default: drain)"
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-unit progress lines"
+    )
+
+    queue_cmd = subparsers.add_parser(
+        "queue", help="dispatch and inspect a distributed work queue"
+    )
+    queue_sub = queue_cmd.add_subparsers(dest="queue_command", required=True)
+
+    dispatch = queue_sub.add_parser(
+        "dispatch", help="partition a sweep into leaseable work units"
+    )
+    add_grid(dispatch)
+    dispatch.add_argument(
+        "--queue", required=True, metavar="DIR", help="the work-queue directory (created if missing)"
+    )
+    dispatch.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result store: cells it already holds are not dispatched",
+    )
+    dispatch.add_argument(
+        "--unit-size", type=int, default=4, help="cells per work unit (default: 4)"
+    )
+
+    queue_status = queue_sub.add_parser("status", help="summarise a queue's progress")
+    queue_status.add_argument(
+        "--queue", required=True, metavar="DIR", help="the work-queue directory"
     )
 
     experiment = subparsers.add_parser(
@@ -291,6 +395,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the underlying sweep (default: 1)",
     )
+    experiment.add_argument(
+        "--executor",
+        choices=("serial", "pool", "queue"),
+        default=None,
+        help="execution backend for the underlying sweep (default: serial "
+        "for --jobs 1, pool otherwise)",
+    )
 
     store_cmd = subparsers.add_parser(
         "store", help="inspect and maintain a content-addressed result store"
@@ -316,6 +427,16 @@ def build_parser() -> argparse.ArgumentParser:
     store_ls.add_argument(
         "--n-max", type=int, default=None, help="largest graph size to list (inclusive)"
     )
+    store_ls.add_argument(
+        "--stat",
+        action="store_true",
+        help="print only the summary line (records, shards, writers, bytes)",
+    )
+    store_ls.add_argument(
+        "--keys",
+        action="store_true",
+        help="print only the matching full spec keys, sorted, one per line",
+    )
 
     store_show = store_sub.add_parser("show", help="print one stored record as JSON")
     add_store_dir(store_show)
@@ -325,6 +446,41 @@ def build_parser() -> argparse.ArgumentParser:
         "gc", help="compact the store: drop corrupt/duplicate lines, rewrite the index"
     )
     add_store_dir(store_gc)
+    store_gc.add_argument(
+        "--max-records",
+        type=int,
+        default=None,
+        help="evict least-recently-accessed records beyond this count",
+    )
+    store_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict least-recently-accessed records until the shards fit",
+    )
+
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="fold shipped worker stores into one (dedup by spec key, loud on divergence)",
+    )
+    store_merge.add_argument(
+        "sources", nargs="+", metavar="SRC", help="source store directories"
+    )
+    store_merge.add_argument(
+        "--into", required=True, metavar="DST", help="destination store (created if missing)"
+    )
+    store_merge.add_argument(
+        "--on-conflict",
+        choices=list(ON_CONFLICT_CHOICES),
+        default="error",
+        help="divergent-payload policy: error (default), ours (keep DST's), "
+        "theirs (take SRC's)",
+    )
+    store_merge.add_argument(
+        "--salvage",
+        action="store_true",
+        help="tolerate corrupt source shard lines (skip them) instead of aborting",
+    )
     return parser
 
 
@@ -454,20 +610,24 @@ def _run_spec_file(args: argparse.Namespace) -> int:
     return 0 if record.ok else 1
 
 
-def _run_sweep(args: argparse.Namespace) -> int:
+def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
+    """Build the SweepSpec the shared grid flags describe (or load --spec)."""
     if args.spec is not None:
-        sweep = SweepSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
-    else:
-        sweep = SweepSpec(
-            problems=(args.problem,),
-            families=tuple(args.family),
-            sizes=tuple(args.sizes),
-            seeds=tuple(range(args.seeds)),
-            schedulers=tuple(args.schedulers),
-            label_sets=(None if args.labels is None else tuple(args.labels),),
-            team_sizes=(args.team_size,),
-            max_traversals=args.max_traversals,
-        )
+        return SweepSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
+    return SweepSpec(
+        problems=(args.problem,),
+        families=tuple(args.family),
+        sizes=tuple(args.sizes),
+        seeds=tuple(range(args.seeds)),
+        schedulers=tuple(args.schedulers),
+        label_sets=(None if args.labels is None else tuple(args.labels),),
+        team_sizes=(args.team_size,),
+        max_traversals=args.max_traversals,
+    )
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    sweep = _sweep_from_args(args)
     total = len(sweep)
 
     def progress(done: int, _total: int, record: RunRecord, cached: bool) -> None:
@@ -480,7 +640,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
             )
 
     store = None if args.store is None else FileStore(args.store)
-    executor = make_executor(args.jobs)
+    if args.executor == "queue":
+        executor = make_executor(
+            args.jobs, kind="queue", queue_dir=args.queue, unit_size=args.unit_size
+        )
+    else:
+        executor = make_executor(args.jobs, kind=args.executor)
     try:
         result = run_sweep(
             sweep, executor=executor, progress=progress, store=store, resume=args.resume
@@ -506,6 +671,66 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0 if result.all_ok else 1
 
 
+def _run_worker(args: argparse.Namespace) -> int:
+    def unit_progress(uid: str, counts: dict) -> None:
+        if not args.quiet:
+            print(
+                f"unit {uid}: {counts['executed']} executed, "
+                f"{counts['salvaged']} salvaged, {counts['cached']} cached "
+                f"of {counts['total']} cells",
+                flush=True,
+            )
+
+    worker = Worker(
+        args.queue,
+        worker_id=args.worker_id,
+        results_root=args.store,
+        lease_ttl=args.lease_ttl,
+        poll=args.poll,
+        max_units=args.max_units,
+        progress=unit_progress,
+    )
+    totals = worker.run()
+    print(
+        f"worker {worker.worker_id}: {totals['units']} units — "
+        f"{totals['executed']} executed, {totals['salvaged']} salvaged, "
+        f"{totals['cached']} cached (shard: {worker.store_dir})"
+    )
+    return 0
+
+
+def _run_queue(args: argparse.Namespace) -> int:
+    if args.queue_command == "dispatch":
+        queue = WorkQueue(args.queue, create=True)
+        store = None if args.store is None else FileStore(args.store, create=False)
+        try:
+            report = Dispatcher(queue, unit_size=args.unit_size).dispatch(
+                _sweep_from_args(args), store=store
+            )
+        finally:
+            if store is not None:
+                store.close()
+        print(
+            f"dispatched {report['cells']} cells into {args.queue}: "
+            f"{report['new_units']} new units, {report['existing_units']} already "
+            f"queued, {report['skipped_cached']} cells already stored"
+        )
+        return 0
+    if args.queue_command == "status":
+        status = WorkQueue(args.queue).status()
+        print(
+            f"queue {args.queue}: {status['done']}/{status['units']} units done, "
+            f"{status['claimed']} claimed, {status['pending']} pending "
+            f"({status['workers']} worker shards)"
+        )
+        print(
+            f"cells: executed {status['executed']}/{status['cells']}, "
+            f"salvaged {status['salvaged']}, cached {status['cached']}"
+        )
+        return 0 if status["units"] == status["done"] else 1
+    return 2  # pragma: no cover (argparse enforces the sub-command)
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     if args.list_experiments:
         rows = []
@@ -521,7 +746,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
         print("error: name an experiment, or pass --spec / --list", file=sys.stderr)
         return 2
     store = None if args.store is None else FileStore(args.store)
-    executor = make_executor(args.jobs)
+    executor = make_executor(args.jobs, kind=args.executor)
     try:
         # Each table prints as soon as it is ready, so a failure in a later
         # experiment never discards the finished work of earlier ones.
@@ -548,10 +773,32 @@ def _run_experiment(args: argparse.Namespace) -> int:
 # store maintenance
 # ----------------------------------------------------------------------
 def _run_store(args: argparse.Namespace) -> int:
+    if args.store_command == "merge":
+        with FileStore(args.into, create=True) as dest:
+            report = merge_stores(
+                args.sources, dest, on_conflict=args.on_conflict, salvage=args.salvage
+            )
+        conflicts = report["conflicts"]
+        print(
+            f"merged {report['merged']} of {report['scanned']} records from "
+            f"{report['sources']} store(s) into {args.into}: "
+            f"{report['duplicates']} duplicates, {len(conflicts)} conflicts"
+            + (f" (resolved: {args.on_conflict})" if conflicts else "")
+        )
+        return 0
     # gc opens tolerantly: its whole point is repairing a damaged store.
     salvage = args.store_command == "gc"
     with FileStore(args.store, create=False, salvage=salvage) as store:
         if args.store_command == "ls":
+            if args.stat:
+                stats = store.stats()
+                print(
+                    f"store {args.store}: {stats['records']} records, "
+                    f"{stats['shards']} shards, {stats['writers']} writer "
+                    f"namespace(s), {stats['bytes']:,} bytes, "
+                    f"{stats['last_read_tracked']} access stamps"
+                )
+                return 0
             matches = {}
             if args.problem is not None:
                 matches["problem"] = args.problem
@@ -565,6 +812,10 @@ def _run_store(args: argparse.Namespace) -> int:
                     args.n_max if args.n_max is not None else sys.maxsize,
                 )
             result = store.query(**matches)
+            if args.keys:
+                for key in sorted(record.spec.key() for record in result):
+                    print(key)
+                return 0
             rows = [
                 [
                     record.spec.key()[:12],
@@ -612,11 +863,12 @@ def _run_store(args: argparse.Namespace) -> int:
             print(record.to_json())
             return 0
         if args.store_command == "gc":
-            report = store.gc()
+            report = store.gc(max_records=args.max_records, max_bytes=args.max_bytes)
             print(
                 f"gc {args.store}: kept {report['kept']} records, "
                 f"dropped {report['dropped_corrupt']} corrupt and "
                 f"{report['dropped_duplicate']} duplicate lines, "
+                f"evicted {report['evicted']} LRU records, "
                 f"reclaimed {report['reclaimed_bytes']:,} bytes"
             )
             return 0
@@ -633,6 +885,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "teams": _run_teams,
         "run": _run_spec_file,
         "sweep": _run_sweep,
+        "worker": _run_worker,
+        "queue": _run_queue,
         "experiment": _run_experiment,
         "store": _run_store,
     }

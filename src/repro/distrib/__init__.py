@@ -1,0 +1,45 @@
+"""Distributed sweep fabric: a file-based work queue over the result store.
+
+The single-machine ceiling of the process-pool executor is lifted by
+splitting a sweep into **content-keyed work units** on a shared (or shipped)
+queue directory and letting any number of worker processes — on any number
+of machines that can see the directory — lease and execute them:
+
+* :class:`~repro.distrib.dispatcher.Dispatcher` partitions a
+  :class:`~repro.runtime.spec.SweepSpec`'s cells into work units, skipping
+  cells a result store already holds;
+* :class:`~repro.distrib.worker.Worker` (CLI: ``repro worker --queue DIR``)
+  leases units via atomic claim files, executes them through the ordinary
+  :func:`~repro.runtime.executors.run_sweep` machinery and persists records
+  into its own shard store — so a killed worker loses at most its in-flight
+  cell, its lease expires, and the next claimant *salvages* the partial
+  shard instead of re-executing;
+* :func:`~repro.store.merge.merge_stores` (CLI: ``repro store merge``)
+  folds the shipped worker shards into one destination store, deduplicating
+  by spec key and refusing divergent payloads;
+* :class:`~repro.distrib.executor.QueueExecutor` wraps the whole lifecycle
+  behind the standard :class:`~repro.runtime.executors.Executor` interface,
+  so ``run_sweep(..., executor=make_executor(4, kind="queue"))`` — and hence
+  ``run_experiment`` and the CLI — can fan a sweep out over local worker
+  processes without any manual dispatch.
+
+Everything is plain files and atomic renames: no daemon, no broker, no
+network protocol — coordination happens only through shared state, and a
+restarted fleet converges to the exact record set a serial run produces.
+"""
+
+from __future__ import annotations
+
+from .dispatcher import Dispatcher
+from .executor import QueueExecutor
+from .queue import WorkQueue, WorkUnit, unit_id
+from .worker import Worker
+
+__all__ = [
+    "Dispatcher",
+    "QueueExecutor",
+    "WorkQueue",
+    "WorkUnit",
+    "Worker",
+    "unit_id",
+]

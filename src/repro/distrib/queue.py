@@ -1,0 +1,352 @@
+"""The work-queue directory: units, claims, done markers, worker shards.
+
+Layout of a queue directory::
+
+    queue/
+    ├── queue.meta.json        # format + spec-key versions
+    ├── units/<id>.json        # one work unit: its cells and their keys
+    ├── claims/<id>.json       # lease: {"worker", "created", "expires"}
+    ├── done/<id>.json         # completion: keys + executed/salvaged counts
+    ├── results/<worker>/      # one FileStore per worker (its "shard")
+    ├── logs/<worker>.log      # stdout/stderr of executor-spawned workers
+    └── .steal.lock            # advisory flock serialising lease steals
+
+Unit ids are **content keys**: the sha256 of the ordered cell-key list.  Two
+dispatches of the same sweep therefore produce the same unit files, making
+dispatch idempotent, and a unit id names *what is to be computed* rather
+than when or by whom.
+
+The claim protocol needs nothing beyond POSIX file semantics:
+
+* a **fresh claim** is an ``O_CREAT | O_EXCL`` create of the claim file —
+  atomic, exactly one winner;
+* an **expired claim** (the lease of a killed worker) is *stolen* by
+  unlinking it under the advisory steal lock and then racing the ordinary
+  ``O_EXCL`` create; the lock makes expiry-check-and-unlink atomic against
+  other stealers, while a concurrent fresh claimant can still slip in —
+  either way exactly one process ends up owning the new claim file;
+* a **done marker** is written via temp-file + ``os.replace`` before the
+  claim is released, so "done" is never observed half-written and a unit
+  whose worker died after finishing is salvaged, not re-run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - fcntl is present on every POSIX platform we run on
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+from ..exceptions import QueueError
+from ..runtime.spec import SPEC_KEY_VERSION, ScenarioSpec, canonical_json
+
+__all__ = ["WorkQueue", "WorkUnit", "unit_id", "QUEUE_FORMAT_VERSION"]
+
+#: On-disk queue layout version.
+QUEUE_FORMAT_VERSION = 1
+
+_META_NAME = "queue.meta.json"
+_UNITS_DIR = "units"
+_CLAIMS_DIR = "claims"
+_DONE_DIR = "done"
+_RESULTS_DIR = "results"
+_LOGS_DIR = "logs"
+_STEAL_LOCK = ".steal.lock"
+
+
+def unit_id(keys: Sequence[str]) -> str:
+    """Content key of a work unit: sha256 over its ordered cell keys."""
+    payload = f"repro.WorkUnit.v{QUEUE_FORMAT_VERSION}:{canonical_json(list(keys))}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    tmp = path.with_suffix(path.suffix + f".tmp-{os.getpid()}")
+    tmp.write_text(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Read a small JSON file; ``None`` when missing or (transiently) invalid."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One leaseable batch of sweep cells."""
+
+    unit: str
+    specs: Tuple[ScenarioSpec, ...]
+    keys: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+class WorkQueue:
+    """Handle on a queue directory (see the module docstring for layout)."""
+
+    def __init__(self, root, *, create: bool = False) -> None:
+        self.root = Path(root)
+        meta = _read_json(self._meta_path)
+        if meta is not None:
+            if meta.get("format_version") != QUEUE_FORMAT_VERSION:
+                raise QueueError(
+                    f"queue {self.root} uses layout version "
+                    f"{meta.get('format_version')}, this code reads "
+                    f"version {QUEUE_FORMAT_VERSION}"
+                )
+            if meta.get("spec_key_version") != SPEC_KEY_VERSION:
+                raise QueueError(
+                    f"queue {self.root} was dispatched with spec-key version "
+                    f"{meta.get('spec_key_version')} (current: {SPEC_KEY_VERSION}); "
+                    "re-dispatch the sweep into a fresh queue"
+                )
+        elif create:
+            for sub in (_UNITS_DIR, _CLAIMS_DIR, _DONE_DIR, _RESULTS_DIR, _LOGS_DIR):
+                (self.root / sub).mkdir(parents=True, exist_ok=True)
+            _atomic_write_json(
+                self._meta_path,
+                {
+                    "format_version": QUEUE_FORMAT_VERSION,
+                    "spec_key_version": SPEC_KEY_VERSION,
+                },
+            )
+        elif self.root.exists():
+            raise QueueError(
+                f"{self.root} holds no queue metadata — not a work queue "
+                "(dispatch into it first)"
+            )
+        else:
+            raise QueueError(f"no work queue at {self.root}")
+        for sub in (_UNITS_DIR, _CLAIMS_DIR, _DONE_DIR, _RESULTS_DIR, _LOGS_DIR):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @property
+    def _meta_path(self) -> Path:
+        return self.root / _META_NAME
+
+    def unit_path(self, uid: str) -> Path:
+        return self.root / _UNITS_DIR / f"{uid}.json"
+
+    def claim_path(self, uid: str) -> Path:
+        return self.root / _CLAIMS_DIR / f"{uid}.json"
+
+    def done_path(self, uid: str) -> Path:
+        return self.root / _DONE_DIR / f"{uid}.json"
+
+    @property
+    def results_root(self) -> Path:
+        return self.root / _RESULTS_DIR
+
+    @property
+    def logs_root(self) -> Path:
+        return self.root / _LOGS_DIR
+
+    def result_store_dirs(self) -> List[Path]:
+        """Every worker shard directory currently present, sorted by name."""
+        if not self.results_root.exists():
+            return []
+        return sorted(path for path in self.results_root.iterdir() if path.is_dir())
+
+    # ------------------------------------------------------------------
+    # units
+    # ------------------------------------------------------------------
+    def add_unit(self, specs: Sequence[ScenarioSpec]) -> Tuple[str, bool]:
+        """Write the unit file for ``specs``; returns ``(unit_id, created)``.
+
+        Content-keyed ids make this idempotent: re-dispatching an already
+        queued unit is a no-op (``created=False``), even mid-execution.
+        """
+        keys = [spec.key() for spec in specs]
+        uid = unit_id(keys)
+        path = self.unit_path(uid)
+        if path.exists():
+            return uid, False
+        _atomic_write_json(
+            path,
+            {
+                "unit": uid,
+                "keys": keys,
+                "cells": [spec.to_dict() for spec in specs],
+            },
+        )
+        return uid, True
+
+    def units(self) -> List[str]:
+        """All queued unit ids, sorted (the shared iteration order)."""
+        return sorted(path.stem for path in (self.root / _UNITS_DIR).glob("*.json"))
+
+    def load_unit(self, uid: str) -> WorkUnit:
+        data = _read_json(self.unit_path(uid))
+        if data is None or "cells" not in data or "keys" not in data:
+            raise QueueError(f"unreadable work unit {uid} in {self.root}")
+        specs = tuple(ScenarioSpec.from_dict(cell) for cell in data["cells"])
+        keys = tuple(data["keys"])
+        if tuple(spec.key() for spec in specs) != keys:
+            raise QueueError(
+                f"work unit {uid} cells do not hash to their recorded keys "
+                "(content-key mismatch)"
+            )
+        if unit_id(keys) != uid:
+            raise QueueError(f"work unit file {uid} does not hash to its id")
+        return WorkUnit(unit=uid, specs=specs, keys=keys)
+
+    # ------------------------------------------------------------------
+    # done markers
+    # ------------------------------------------------------------------
+    def is_done(self, uid: str) -> bool:
+        return self.done_path(uid).exists()
+
+    def read_done(self, uid: str) -> Optional[Dict[str, Any]]:
+        return _read_json(self.done_path(uid))
+
+    def write_done(self, uid: str, payload: Dict[str, Any]) -> None:
+        _atomic_write_json(self.done_path(uid), payload)
+
+    # ------------------------------------------------------------------
+    # claims / leases
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _steal_lock(self) -> Iterator[None]:
+        if fcntl is None:  # pragma: no cover
+            yield
+            return
+        with (self.root / _STEAL_LOCK).open("a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def read_claim(self, uid: str) -> Optional[Dict[str, Any]]:
+        return _read_json(self.claim_path(uid))
+
+    def _create_claim(self, uid: str, worker: str, ttl: float, now: float) -> bool:
+        payload = json.dumps(
+            {
+                "unit": uid,
+                "worker": worker,
+                "created": now,
+                "expires": now + ttl,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        try:
+            descriptor = os.open(
+                self.claim_path(uid), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        return True
+
+    def try_claim(
+        self, uid: str, worker: str, ttl: float, now: Optional[float] = None
+    ) -> bool:
+        """Attempt to lease unit ``uid`` for ``worker``; non-blocking.
+
+        Succeeds when the unit is unclaimed, when the existing lease has
+        expired (a killed worker — the claim is stolen), or when the lease
+        already belongs to ``worker`` (a restarted worker reclaims its own
+        units without waiting out its previous life's lease; worker ids must
+        therefore name at most one live process).
+        """
+        now = time.time() if now is None else now
+        if self._create_claim(uid, worker, ttl, now):
+            return True
+        claim = self.read_claim(uid)
+        if claim is None:
+            # Mid-steal by someone else, or vanished: race the fresh create.
+            return self._create_claim(uid, worker, ttl, now)
+        if claim.get("worker") == worker:
+            _atomic_write_json(
+                self.claim_path(uid),
+                {"unit": uid, "worker": worker, "created": now, "expires": now + ttl},
+            )
+            return True
+        if float(claim.get("expires", 0.0)) > now:
+            return False
+        with self._steal_lock():
+            claim = self.read_claim(uid)
+            if claim is not None:
+                if (
+                    claim.get("worker") != worker
+                    and float(claim.get("expires", 0.0)) > now
+                ):
+                    return False  # renewed while we waited for the lock
+                with contextlib.suppress(FileNotFoundError):
+                    os.unlink(self.claim_path(uid))
+        return self._create_claim(uid, worker, ttl, now)
+
+    def release_claim(self, uid: str, worker: str) -> None:
+        """Drop ``worker``'s lease on ``uid`` (no-op when not the holder)."""
+        claim = self.read_claim(uid)
+        if claim is not None and claim.get("worker") == worker:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.claim_path(uid))
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def status(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Aggregate queue state: unit/cell counts and execution totals.
+
+        ``executed`` sums the done markers' execution counts — over a full
+        drain it equals the number of cells that were actually computed, so
+        ``executed == cells`` certifies a duplicate-free distributed run.
+        """
+        now = time.time() if now is None else now
+        uids = self.units()
+        cells = 0
+        done_units = 0
+        executed = salvaged = cached = 0
+        claimed_active = 0
+        pending = 0
+        for uid in uids:
+            data = _read_json(self.unit_path(uid))
+            cells += len(data.get("keys", ())) if data else 0
+            done = self.read_done(uid)
+            if done is not None:
+                done_units += 1
+                executed += int(done.get("executed", 0))
+                salvaged += int(done.get("salvaged", 0))
+                cached += int(done.get("cached", 0))
+                continue
+            claim = self.read_claim(uid)
+            if claim is not None and float(claim.get("expires", 0.0)) > now:
+                claimed_active += 1
+            else:
+                pending += 1
+        return {
+            "units": len(uids),
+            "cells": cells,
+            "done": done_units,
+            "claimed": claimed_active,
+            "pending": pending,
+            "executed": executed,
+            "salvaged": salvaged,
+            "cached": cached,
+            "workers": len(self.result_store_dirs()),
+        }

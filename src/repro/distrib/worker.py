@@ -1,0 +1,197 @@
+"""The worker loop: lease a unit, execute it, persist into an own shard.
+
+A worker is identified by a ``worker_id`` naming at most one live process.
+Its result store — "its shard" — lives at ``<queue>/results/<worker_id>/``
+(or under an explicit ``--store`` root), so concurrent workers never share
+an append target and a whole worker directory can be shipped as one unit of
+exchange.
+
+Crash safety: records are persisted per cell (``run_sweep`` with a store),
+the done marker is written atomically *before* the lease is released, and a
+claimant of an expired lease first **salvages** — it looks every cell key of
+the unit up in all sibling shards (including a dead worker's partial one)
+and only executes the cells nobody persisted.  A restarted fleet therefore
+converges to exactly the serial record set with every cell executed once.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..exceptions import StoreError
+from ..runtime.executors import SerialExecutor, run_sweep
+from ..runtime.records import RunRecord
+from ..store.filestore import FileStore
+from .queue import WorkQueue, WorkUnit
+
+__all__ = ["Worker", "DEFAULT_LEASE_TTL"]
+
+#: Default lease duration.  Must exceed the wall time of one work unit —
+#: otherwise a *live* worker's lease can be stolen and the cell computed
+#: twice (harmlessly for the record set, wastefully for the fleet).
+DEFAULT_LEASE_TTL = 300.0
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>``: unique per live process, stable within it."""
+    host = socket.gethostname().split(".", 1)[0] or "worker"
+    return f"{host}-{os.getpid()}"
+
+
+class Worker:
+    """Drains a :class:`WorkQueue` until every unit has a done marker.
+
+    Parameters
+    ----------
+    queue:
+        The queue directory (or an open :class:`WorkQueue`).
+    worker_id:
+        This worker's identity; defaults to ``<host>-<pid>``.  Re-using an
+        id across *sequential* lives is encouraged (a restart reclaims its
+        own leases immediately); sharing one between live processes is not.
+    results_root:
+        Where worker shards live.  Defaults to ``<queue>/results``; the
+        worker's own store is ``<results_root>/<worker_id>/``.
+    lease_ttl, poll:
+        Lease duration, and the sleep between scans while other workers
+        hold the remaining units.
+    max_units:
+        Stop after processing this many units (``None`` = drain fully).
+    progress:
+        Optional ``progress(unit_id, counts)`` callback per finished unit.
+    """
+
+    def __init__(
+        self,
+        queue: Union[WorkQueue, str, Path],
+        *,
+        worker_id: Optional[str] = None,
+        results_root: Optional[Union[str, Path]] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poll: float = 0.5,
+        max_units: Optional[int] = None,
+        progress: Optional[Callable[[str, Dict[str, int]], None]] = None,
+    ) -> None:
+        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        self.worker_id = worker_id if worker_id is not None else default_worker_id()
+        self.results_root = (
+            Path(results_root) if results_root is not None else self.queue.results_root
+        )
+        self.lease_ttl = lease_ttl
+        self.poll = poll
+        self.max_units = max_units
+        self.progress = progress
+
+    @property
+    def store_dir(self) -> Path:
+        """This worker's own shard directory."""
+        return self.results_root / self.worker_id
+
+    # ------------------------------------------------------------------
+    # salvage
+    # ------------------------------------------------------------------
+    def _salvage(self, unit: WorkUnit, own: FileStore) -> Dict[str, RunRecord]:
+        """Records for the unit's cells found in *sibling* worker shards.
+
+        Opened tolerantly: a killed sibling's shard may end in a truncated
+        line (always dropped) or — after genuine disk trouble — hold corrupt
+        lines, which salvage mode skips rather than letting one damaged
+        shard wedge the whole fleet.
+        """
+        wanted = [key for key in unit.keys if own.get(key) is None]
+        found: Dict[str, RunRecord] = {}
+        if not wanted:
+            return found
+        for sibling_dir in sorted(self.results_root.iterdir() if self.results_root.exists() else []):
+            if not sibling_dir.is_dir() or sibling_dir == self.store_dir:
+                continue
+            try:
+                with FileStore(sibling_dir, create=False, salvage=True) as sibling:
+                    for key in wanted:
+                        if key not in found:
+                            record = sibling.get(key)
+                            if record is not None:
+                                found[key] = record
+            except StoreError:
+                continue  # not (yet) a store, or unreadable — skip
+            if len(found) == len(wanted):
+                break
+        return found
+
+    # ------------------------------------------------------------------
+    # unit execution
+    # ------------------------------------------------------------------
+    def process_unit(self, unit: WorkUnit, own: FileStore) -> Dict[str, int]:
+        """Execute one leased unit; returns its done-marker counters.
+
+        Cells already in the worker's own store (its previous life) count as
+        ``cached``; cells found in sibling shards (a dead worker's partial
+        progress) count as ``salvaged``; only the remainder is ``executed``
+        — through the ordinary :func:`run_sweep` path, so records are
+        persisted cell by cell and byte-identical to a serial run's.
+        """
+        cached = sum(1 for key in unit.keys if own.get(key) is not None)
+        salvaged = self._salvage(unit, own)
+        to_run = [
+            spec
+            for spec, key in zip(unit.specs, unit.keys)
+            if key not in salvaged and own.get(key) is None
+        ]
+        result = run_sweep(to_run, executor=SerialExecutor(), store=own)
+        return {
+            "total": len(unit),
+            "cached": cached,
+            "salvaged": len(salvaged),
+            "executed": result.executed,
+        }
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, int]:
+        """Process units until the queue is drained (or ``max_units`` hit).
+
+        Returns this worker's totals::
+
+            {"units": ..., "total": ..., "cached": ..., "salvaged": ...,
+             "executed": ...}
+        """
+        totals = {"units": 0, "total": 0, "cached": 0, "salvaged": 0, "executed": 0}
+        with FileStore(self.store_dir, create=True) as own:
+            while True:
+                pending = [uid for uid in self.queue.units() if not self.queue.is_done(uid)]
+                if not pending:
+                    break
+                progressed = False
+                for uid in pending:
+                    if self.max_units is not None and totals["units"] >= self.max_units:
+                        return totals
+                    if not self.queue.try_claim(uid, self.worker_id, self.lease_ttl):
+                        continue
+                    try:
+                        if self.queue.is_done(uid):  # finished while we claimed
+                            continue
+                        unit = self.queue.load_unit(uid)
+                        counts = self.process_unit(unit, own)
+                        own.flush()
+                        self.queue.write_done(
+                            uid,
+                            {"unit": uid, "worker": self.worker_id, "keys": list(unit.keys), **counts},
+                        )
+                    finally:
+                        self.queue.release_claim(uid, self.worker_id)
+                    totals["units"] += 1
+                    for name in ("total", "cached", "salvaged", "executed"):
+                        totals[name] += counts[name]
+                    progressed = True
+                    if self.progress is not None:
+                        self.progress(uid, counts)
+                if not progressed:
+                    # Everything left is validly leased elsewhere: wait for
+                    # done markers to appear or leases to expire.
+                    time.sleep(self.poll)
+        return totals

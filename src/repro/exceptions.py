@@ -61,6 +61,25 @@ class StoreCorruptionError(StoreError):
     """
 
 
+class StoreConflictError(StoreError):
+    """Two stores hold *divergent* records under the same spec key.
+
+    Raised by :func:`repro.store.merge.merge_stores`: identical payloads are
+    deduplicated silently, but a key whose stored records differ means two
+    writers computed different results for the same content-addressed cell —
+    a determinism violation that must never be papered over by a merge.
+    The ``conflicts`` attribute lists the offending keys.
+    """
+
+    def __init__(self, message: str, conflicts=()):
+        super().__init__(message)
+        self.conflicts = tuple(conflicts)
+
+
+class QueueError(ReproError):
+    """A distributed work-queue operation failed (layout, claim, drain)."""
+
+
 class ExplorationError(ReproError):
     """An exploration procedure (UXS walk, ESST) failed or was misused."""
 

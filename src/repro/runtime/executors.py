@@ -1,4 +1,4 @@
-"""Sweep execution backends: serial and process-pool.
+"""Sweep execution backends: serial, process-pool and work-queue.
 
 ``run_sweep`` turns a :class:`~repro.runtime.spec.SweepSpec` (or any iterable
 of :class:`~repro.runtime.spec.ScenarioSpec`) into a
@@ -9,6 +9,11 @@ of :class:`~repro.runtime.spec.ScenarioSpec`) into a
 * :class:`ProcessPoolExecutor` — fan the cells out over worker processes.
   Specs are picklable by construction and each cell carries its own seed, so
   the records are identical to a serial run — only the wall-clock changes.
+* :class:`~repro.distrib.executor.QueueExecutor` (``make_executor(jobs,
+  kind="queue")``) — dispatch the cells as leased work units on a queue
+  directory and drain them with worker *processes* that may live on other
+  machines; see :mod:`repro.distrib`.  Imported lazily to keep the runtime
+  facade free of the distributed machinery.
 
 Both backends preserve cell order and call an optional progress callback
 ``progress(done, total, record)`` as records arrive; a callback declaring a
@@ -28,6 +33,7 @@ import concurrent.futures
 import inspect
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
 
+from ..exceptions import ReproError
 from ..exploration.cost_model import CostModel
 from .records import RunRecord, SweepResult
 from .runner import run
@@ -153,8 +159,32 @@ class ProcessPoolExecutor(Executor):
         return [record for record in records if record is not None]
 
 
-def make_executor(jobs: Optional[int] = None) -> Executor:
-    """``jobs`` ≤ 1 (or ``None``) → serial; otherwise a pool of ``jobs`` workers."""
+def make_executor(
+    jobs: Optional[int] = None, kind: Optional[str] = None, **options
+) -> Executor:
+    """Build an executor by ``kind``: ``"serial"``, ``"pool"`` or ``"queue"``.
+
+    With ``kind=None`` (the historical signature) the choice follows
+    ``jobs``: ≤ 1 (or ``None``) → serial; otherwise a pool of ``jobs``
+    workers.  ``kind="queue"`` builds a
+    :class:`~repro.distrib.executor.QueueExecutor` with ``jobs`` worker
+    processes (default 2); ``options`` (``queue_dir``, ``unit_size``,
+    ``lease_ttl``, …) pass through to it.
+    """
+    if kind == "queue":
+        from ..distrib.executor import QueueExecutor
+
+        return QueueExecutor(workers=jobs if jobs and jobs > 0 else 2, **options)
+    if options:
+        raise ReproError(f"executor kind {kind!r} takes no options: {sorted(options)}")
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "pool":
+        return ProcessPoolExecutor(max_workers=jobs)
+    if kind is not None:
+        raise ReproError(
+            f"unknown executor kind {kind!r}; choose serial, pool or queue"
+        )
     if jobs is None or jobs <= 1:
         return SerialExecutor()
     return ProcessPoolExecutor(max_workers=jobs)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from .base import KeyLike, ResultStore
 from .filestore import DEFAULT_STORE_DIR, FileStore
 from .memory import MemoryStore
+from .merge import merge_stores
 
 __all__ = [
     "ResultStore",
@@ -35,6 +36,7 @@ __all__ = [
     "FileStore",
     "DEFAULT_STORE_DIR",
     "open_store",
+    "merge_stores",
     # lazily loaded:
     "CachingRunner",
 ]

@@ -64,6 +64,15 @@ class ResultStore:
         """Store ``record`` under its spec's key; idempotent.  Returns the key."""
         raise NotImplementedError
 
+    def put_replace(self, record: RunRecord) -> str:
+        """Store ``record`` under its key, replacing any existing payload.
+
+        Only needed by conflict-resolving code paths (``store merge
+        --on-conflict theirs``); everyday writers should use the idempotent
+        :meth:`put` — for a deterministic computation the two never differ.
+        """
+        raise NotImplementedError
+
     def keys(self) -> Tuple[str, ...]:
         """All stored keys, in a backend-defined but stable order."""
         raise NotImplementedError

@@ -5,9 +5,11 @@ Layout of a store directory (default name ``.repro-store``)::
     .repro-store/
     ├── store.meta.json      # format + spec-key versions, written once
     ├── index.jsonl          # one {"key", "shard"} line per stored record
+    ├── lastread.json        # advisory {key: last-access epoch} for LRU gc
+    ├── .lock                # advisory flock target for multi-writer stores
     └── shards/
         ├── 0a.jsonl         # records whose key starts with "0a"
-        ├── 3f.jsonl         # one {"key", "record"} JSON object per line
+        ├── 3f--w1.jsonl     # the same, written under writer namespace "w1"
         └── ...
 
 Durability model
@@ -24,14 +26,35 @@ salvages what it can and rewrites the store compactly.
 
 The shards are the source of truth; the index is a recoverable accelerator
 (it spares opening every shard to answer ``keys()`` / ``__contains__``).
+
+Multi-writer model
+------------------
+Several processes may hold the same store open as long as each passes a
+distinct ``writer`` name: a writer appends only to its **own** shard
+namespace (``<prefix>--<writer>.jsonl``), so two writers never interleave
+bytes within one file, while the shared ``index.jsonl`` is appended one
+atomic line at a time under an advisory ``flock``.  Writers do not see each
+other's un-reopened records (each process caches its own index) — that is
+fine for the intended use, a fleet of queue workers computing *disjoint*
+content-addressed cells.  :meth:`gc` later collapses writer namespaces back
+into canonical shards, and :meth:`rebuild_index` reconciles the index with
+whatever the shards actually hold.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import re
+import time
 from pathlib import Path
-from typing import Any, Dict, IO, Optional, Tuple
+from typing import Any, Dict, IO, Iterator, Optional, Tuple
+
+try:  # pragma: no cover - fcntl is present on every POSIX platform we run on
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 from ..exceptions import StoreCorruptionError, StoreError
 from ..runtime.records import RunRecord
@@ -48,7 +71,12 @@ FORMAT_VERSION = 1
 
 _META_NAME = "store.meta.json"
 _INDEX_NAME = "index.jsonl"
+_LASTREAD_NAME = "lastread.json"
+_LOCK_NAME = ".lock"
 _SHARD_DIR = "shards"
+
+#: Writer namespaces become file-name components; keep them boring.
+_WRITER_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
 
 
 def _append_line(handle: IO[str], payload: Dict[str, Any], fsync: bool) -> None:
@@ -95,21 +123,41 @@ class FileStore(ResultStore):
         raising :class:`~repro.exceptions.StoreCorruptionError`.  This is
         how :meth:`gc` gets at a damaged store to repair it; leave it off
         for normal use so corruption is loud.
+    writer:
+        Writer namespace for multi-writer stores.  When set, appends go to
+        this writer's own shard files (``<prefix>--<writer>.jsonl``) so that
+        concurrent writer processes never share an append target; index
+        appends are serialised with an advisory lock.  Reads are unaffected
+        — any writer (or a plain reader) sees every namespace.
     """
 
     backend = "file"
 
     def __init__(
-        self, root, *, create: bool = True, fsync: bool = False, salvage: bool = False
+        self,
+        root,
+        *,
+        create: bool = True,
+        fsync: bool = False,
+        salvage: bool = False,
+        writer: Optional[str] = None,
     ) -> None:
+        if writer is not None and ("--" in writer or not _WRITER_RE.match(writer)):
+            raise StoreError(
+                f"invalid writer name {writer!r}: use letters, digits, '.', '_' "
+                "or '-' (and no '--', which separates the shard prefix)"
+            )
         self.root = Path(root)
         self.fsync = fsync
         self.salvage = salvage
+        self.writer = writer
         self._index: Dict[str, str] = {}
         self._shard_cache: Dict[str, Dict[str, RunRecord]] = {}
         self._handles: Dict[str, IO[str]] = {}
         self._index_handle: Optional[IO[str]] = None
         self._truncated_dropped = 0
+        self._last_read: Dict[str, float] = {}
+        self._lastread_dirty = False
         self._open(create)
 
     # ------------------------------------------------------------------
@@ -123,12 +171,35 @@ class FileStore(ResultStore):
     def _index_path(self) -> Path:
         return self.root / _INDEX_NAME
 
+    @property
+    def _lastread_path(self) -> Path:
+        return self.root / _LASTREAD_NAME
+
     def _shard_path(self, shard: str) -> Path:
         return self.root / _SHARD_DIR / f"{shard}.jsonl"
 
-    @staticmethod
-    def _shard_of(key: str) -> str:
-        return key[:2]
+    def _shard_for(self, key: str) -> str:
+        """The shard this store appends ``key`` to (writer-namespaced)."""
+        prefix = key[:2]
+        return prefix if self.writer is None else f"{prefix}--{self.writer}"
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Hold the store's advisory lock (a no-op where flock is missing).
+
+        Guards the shared append/rewrite targets — ``index.jsonl`` and
+        ``lastread.json`` — against concurrent writer processes.  Shard
+        appends never need it: each writer owns its namespace's files.
+        """
+        if fcntl is None:  # pragma: no cover
+            yield
+            return
+        with (self.root / _LOCK_NAME).open("a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def _open(self, create: bool) -> None:
         if self._meta_path.exists():
@@ -170,6 +241,23 @@ class FileStore(ResultStore):
             raise StoreError(f"no result store at {self.root}")
         (self.root / _SHARD_DIR).mkdir(parents=True, exist_ok=True)
         self._load_index()
+        self._load_last_read()
+
+    def _load_last_read(self) -> None:
+        """Load the advisory last-access map (tolerating absence/corruption).
+
+        The map only steers LRU eviction, so a damaged file degrades to
+        "never accessed" rather than an error.
+        """
+        try:
+            data = json.loads(self._lastread_path.read_text(encoding="utf-8"))
+            self._last_read = {
+                str(key): float(stamp)
+                for key, stamp in data.items()
+                if isinstance(stamp, (int, float))
+            }
+        except (OSError, json.JSONDecodeError, AttributeError):
+            self._last_read = {}
 
     def _load_index(self) -> None:
         """Load ``index.jsonl``, falling back to a shard scan when absent.
@@ -207,9 +295,10 @@ class FileStore(ResultStore):
             for key in self._load_shard(shard):
                 if key not in self._index:
                     self._index[key] = shard
-                    _append_line(
-                        self._index_append_handle(), {"key": key, "shard": shard}, self.fsync
-                    )
+                    with self._locked():
+                        _append_line(
+                            self._index_append_handle(), {"key": key, "shard": shard}, self.fsync
+                        )
 
     def _iter_shard_lines(self, shard: str):
         path = self._shard_path(shard)
@@ -282,23 +371,48 @@ class FileStore(ResultStore):
             # Index ahead of the shard (in-flight cell of a killed sweep).
             del self._index[digest]
             return None
+        self._touch(digest)
         return record
 
-    def put(self, record: RunRecord) -> str:
-        key = record.spec.key()
-        if key in self._index and self.get(key) is not None:
-            return key
-        shard = self._shard_of(key)
+    def _touch(self, key: str) -> None:
+        self._last_read[key] = time.time()
+        self._lastread_dirty = True
+
+    def _append_record(self, key: str, record: RunRecord) -> None:
+        shard = self._shard_for(key)
         _append_line(
             self._shard_append_handle(shard),
             {"key": key, "record": record.to_dict()},
             self.fsync,
         )
-        _append_line(self._index_append_handle(), {"key": key, "shard": shard}, self.fsync)
+        with self._locked():
+            _append_line(
+                self._index_append_handle(), {"key": key, "shard": shard}, self.fsync
+            )
         self._index[key] = shard
         if shard in self._shard_cache:
             # Keep the cache coherent; re-parse is wasteful for an append.
             self._shard_cache[shard][key] = record
+        self._touch(key)
+
+    def put(self, record: RunRecord) -> str:
+        key = record.spec.key()
+        if key in self._index and self.get(key) is not None:
+            return key
+        self._append_record(key, record)
+        return key
+
+    def put_replace(self, record: RunRecord) -> str:
+        """Append ``record`` even when its key is already stored.
+
+        Within a shard the last line wins, and the freshly appended index
+        line redirects readers to this writer's namespace — so the new
+        payload shadows the old one until :meth:`gc` compacts it away.
+        Used by ``merge --on-conflict theirs``; everything else should rely
+        on the idempotent :meth:`put`.
+        """
+        key = record.spec.key()
+        self._append_record(key, record)
         return key
 
     def keys(self) -> Tuple[str, ...]:
@@ -326,6 +440,40 @@ class FileStore(ResultStore):
             handle.flush()
         if self._index_handle is not None:
             self._index_handle.flush()
+        self._persist_last_read()
+
+    def _persist_last_read(self, keep: Optional[Dict[str, float]] = None) -> None:
+        """Merge this handle's access stamps into ``lastread.json``.
+
+        Merging (per-key max) under the advisory lock keeps concurrent
+        writers from clobbering each other's stamps; ``keep`` replaces the
+        merge outcome entirely (what :meth:`gc` uses after eviction).
+        """
+        if keep is None and not self._lastread_dirty:
+            return
+        with self._locked():
+            if keep is not None:
+                merged = dict(keep)
+            else:
+                try:
+                    merged = {
+                        str(key): float(stamp)
+                        for key, stamp in json.loads(
+                            self._lastread_path.read_text(encoding="utf-8")
+                        ).items()
+                        if isinstance(stamp, (int, float))
+                    }
+                except (OSError, json.JSONDecodeError, AttributeError):
+                    merged = {}
+                for key, stamp in self._last_read.items():
+                    if merged.get(key, 0.0) < stamp:
+                        merged[key] = stamp
+            _atomic_write(
+                self._lastread_path,
+                json.dumps(merged, sort_keys=True, separators=(",", ":")) + "\n",
+            )
+        self._last_read = merged
+        self._lastread_dirty = False
 
     def close(self) -> None:
         self.flush()
@@ -347,73 +495,143 @@ class FileStore(ResultStore):
             records += len(parsed)
         return {"records": records, "truncated_dropped": self._truncated_dropped}
 
-    def gc(self) -> Dict[str, int]:
+    def gc(
+        self,
+        *,
+        max_records: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> Dict[str, int]:
         """Compact the store: drop corrupt/duplicate lines, rewrite the index.
 
         Every shard is re-parsed in salvage mode (undecodable and
         content-address-mismatched lines are discarded, duplicate keys keep
-        the last write), shards are rewritten atomically, empty shards
-        removed, and ``index.jsonl`` regenerated.  Returns counters::
+        the last write), writer namespaces are collapsed back into the
+        canonical ``<prefix>.jsonl`` shards, shards are rewritten atomically,
+        empty shards removed, and ``index.jsonl`` regenerated.
+
+        ``max_records`` / ``max_bytes`` additionally bound the surviving
+        store: least-recently-accessed records (by the advisory
+        ``lastread.json`` stamps; never-accessed records go first) are
+        evicted until both budgets hold — the bounded-cache story for
+        long-running fleets.  Returns counters::
 
             {"kept": ..., "dropped_corrupt": ..., "dropped_duplicate": ...,
-             "reclaimed_bytes": ...}
+             "evicted": ..., "reclaimed_bytes": ...}
         """
         self.close()
-        kept = 0
         dropped_corrupt = 0
-        dropped_duplicate = 0
-        before = sum(
-            path.stat().st_size for path in (self.root / _SHARD_DIR).glob("*.jsonl")
-        )
+        total_lines = 0
+        shard_paths = sorted((self.root / _SHARD_DIR).glob("*.jsonl"))
+        before = sum(path.stat().st_size for path in shard_paths)
+        merged: Dict[str, RunRecord] = {}
+        for path in shard_paths:
+            body, _ = _split_lines(path.read_text(encoding="utf-8"))
+            records, dropped = self._parse_shard(path.stem, salvage=True)
+            total_lines += len(body)
+            dropped_corrupt += dropped
+            merged.update(records)
+        dropped_duplicate = max(0, total_lines - dropped_corrupt - len(merged))
+
+        lines_of = {
+            key: json.dumps(
+                {"key": key, "record": record.to_dict()},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            for key, record in merged.items()
+        }
+        evicted = 0
+        if max_records is not None or max_bytes is not None:
+            total_bytes = sum(len(line) + 1 for line in lines_of.values())
+            # Oldest access first; never-accessed records (stamp 0.0) lead.
+            for key in sorted(merged, key=lambda k: (self._last_read.get(k, 0.0), k)):
+                over_records = max_records is not None and len(merged) > max_records
+                over_bytes = max_bytes is not None and total_bytes > max_bytes
+                if not (over_records or over_bytes):
+                    break
+                total_bytes -= len(lines_of.pop(key)) + 1
+                del merged[key]
+                evicted += 1
+
+        by_shard: Dict[str, Dict[str, RunRecord]] = {}
+        for key, record in merged.items():
+            by_shard.setdefault(key[:2], {})[key] = record
         index_lines = []
         new_index: Dict[str, str] = {}
-        new_cache: Dict[str, Dict[str, RunRecord]] = {}
-        for path in sorted((self.root / _SHARD_DIR).glob("*.jsonl")):
-            shard = path.stem
-            body, _ = _split_lines(path.read_text(encoding="utf-8"))
-            records, dropped = self._parse_shard(shard, salvage=True)
-            dropped_corrupt += dropped
-            dropped_duplicate += max(0, len(body) - dropped - len(records))
-            if not records:
-                path.unlink()
-                continue
-            lines = [
-                json.dumps(
-                    {"key": key, "record": record.to_dict()},
-                    sort_keys=True,
-                    separators=(",", ":"),
+        with self._locked():
+            for path in shard_paths:
+                if path.stem not in by_shard:
+                    path.unlink()
+            for shard, records in sorted(by_shard.items()):
+                _atomic_write(
+                    self._shard_path(shard),
+                    "\n".join(lines_of[key] for key in records) + "\n",
                 )
-                for key, record in records.items()
-            ]
-            _atomic_write(path, "\n".join(lines) + "\n")
-            for key in records:
-                index_lines.append(
-                    json.dumps({"key": key, "shard": shard}, sort_keys=True, separators=(",", ":"))
-                )
-                new_index[key] = shard
-            new_cache[shard] = records
-            kept += len(records)
-        _atomic_write(self._index_path, "\n".join(index_lines) + "\n" if index_lines else "")
+                for key in records:
+                    index_lines.append(
+                        json.dumps({"key": key, "shard": shard}, sort_keys=True, separators=(",", ":"))
+                    )
+                    new_index[key] = shard
+            _atomic_write(self._index_path, "\n".join(index_lines) + "\n" if index_lines else "")
         after = sum(
             path.stat().st_size for path in (self.root / _SHARD_DIR).glob("*.jsonl")
         )
         self._index = new_index
-        self._shard_cache = new_cache
+        self._shard_cache = dict(by_shard)
         self._truncated_dropped = 0
+        self._persist_last_read(
+            keep={key: stamp for key, stamp in self._last_read.items() if key in new_index}
+        )
         return {
-            "kept": kept,
+            "kept": len(merged),
             "dropped_corrupt": dropped_corrupt,
             "dropped_duplicate": dropped_duplicate,
+            "evicted": evicted,
             "reclaimed_bytes": max(0, before - after),
         }
 
+    def rebuild_index(self) -> int:
+        """Rewrite ``index.jsonl`` from a full shard scan; return the count.
+
+        The shards stay untouched — this only reconciles the accelerator
+        with them, e.g. after :func:`~repro.store.merge.merge_stores`
+        appended records from shipped shards, or when an index is suspected
+        stale.  Respects this handle's ``salvage`` tolerance.
+        """
+        if self._index_handle is not None:
+            self._index_handle.close()
+            self._index_handle = None
+        entries: Dict[str, str] = {}
+        with self._locked():
+            for path in sorted((self.root / _SHARD_DIR).glob("*.jsonl")):
+                for key in self._parse_shard(path.stem, salvage=self.salvage)[0]:
+                    entries[key] = path.stem
+            _atomic_write(
+                self._index_path,
+                "\n".join(
+                    json.dumps({"key": key, "shard": shard}, sort_keys=True, separators=(",", ":"))
+                    for key, shard in entries.items()
+                )
+                + "\n"
+                if entries
+                else "",
+            )
+        self._index = entries
+        return len(entries)
+
     def stats(self) -> Dict[str, Any]:
         shard_paths = list((self.root / _SHARD_DIR).glob("*.jsonl"))
+        writers = {
+            stem.split("--", 1)[1] if "--" in stem else ""
+            for stem in (path.stem for path in shard_paths)
+        }
         return {
             "backend": self.backend,
             "root": str(self.root),
             "records": len(self._index),
             "shards": len(shard_paths),
+            "writers": len(writers),
             "bytes": sum(path.stat().st_size for path in shard_paths),
             "truncated_dropped": self._truncated_dropped,
+            "last_read_tracked": len(self._last_read),
         }

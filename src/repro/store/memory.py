@@ -33,6 +33,11 @@ class MemoryStore(ResultStore):
         self._records.setdefault(key, record)
         return key
 
+    def put_replace(self, record: RunRecord) -> str:
+        key = record.spec.key()
+        self._records[key] = record
+        return key
+
     def keys(self) -> Tuple[str, ...]:
         return tuple(self._records)
 

@@ -1,0 +1,112 @@
+"""Merging shipped result stores: dedup by spec key, loud on divergence.
+
+The file store is the exchange format of the distributed sweep fabric: every
+worker writes records into its own shard store, the shard directories are
+shipped (copied, rsynced, tarred — they are plain files) to one machine, and
+:func:`merge_stores` folds them into a destination store.  Because records
+are content-addressed, merging is a set union:
+
+* a key absent from the destination is **merged** (one ``put``);
+* a key already present with an *identical* payload is a **duplicate**
+  (skipped — the normal case for a cell two workers both salvaged);
+* a key present with a *different* payload is a **conflict** — two writers
+  disagreed about a deterministic computation.  By default the merge
+  completes its scan and then raises
+  :class:`~repro.exceptions.StoreConflictError` naming every conflicting
+  key; ``on_conflict="ours"`` keeps the destination's payload and
+  ``on_conflict="theirs"`` takes the incoming one instead.
+
+After the record pass the destination's index is rebuilt from its shards,
+so a merge always leaves index and shard contents in agreement.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, Set, Union
+
+from ..exceptions import StoreConflictError, StoreError
+from .base import ResultStore
+from .filestore import FileStore
+
+__all__ = ["merge_stores", "ON_CONFLICT_CHOICES"]
+
+#: Accepted ``on_conflict`` policies.
+ON_CONFLICT_CHOICES = ("error", "ours", "theirs")
+
+SourceLike = Union[str, Path, ResultStore]
+
+
+def _open_source(source: SourceLike, salvage: bool) -> tuple:
+    """Resolve a source argument to ``(store, close_when_done)``."""
+    if isinstance(source, ResultStore):
+        return source, False
+    return FileStore(source, create=False, salvage=salvage), True
+
+
+def merge_stores(
+    sources: Iterable[SourceLike],
+    into: ResultStore,
+    *,
+    on_conflict: str = "error",
+    salvage: bool = False,
+) -> Dict[str, Any]:
+    """Fold every record of ``sources`` into the ``into`` store.
+
+    ``sources`` are store directories (opened read-only as
+    :class:`~repro.store.filestore.FileStore`) or live
+    :class:`~repro.store.base.ResultStore` objects; ``salvage=True`` opens
+    directory sources tolerantly, which is how partially written shards of
+    a killed worker are shipped (a truncated final line is always tolerated,
+    with or without ``salvage``).  Returns counters::
+
+        {"sources": ..., "scanned": ..., "merged": ..., "duplicates": ...,
+         "conflicts": [key, ...]}
+    """
+    if on_conflict not in ON_CONFLICT_CHOICES:
+        raise StoreError(
+            f"unknown on_conflict policy {on_conflict!r}; "
+            f"choose one of {ON_CONFLICT_CHOICES}"
+        )
+    counters: Dict[str, Any] = {
+        "sources": 0,
+        "scanned": 0,
+        "merged": 0,
+        "duplicates": 0,
+        "conflicts": [],
+    }
+    conflicts: Set[str] = set()
+    for source in sources:
+        store, close_when_done = _open_source(source, salvage)
+        try:
+            counters["sources"] += 1
+            for record in store.records():
+                counters["scanned"] += 1
+                key = record.spec.key()
+                existing = into.get(key)
+                if existing is None:
+                    into.put(record)
+                    counters["merged"] += 1
+                elif existing == record:
+                    counters["duplicates"] += 1
+                else:
+                    conflicts.add(key)
+                    if on_conflict == "theirs":
+                        into.put_replace(record)
+        finally:
+            if close_when_done:
+                store.close()
+    counters["conflicts"] = sorted(conflicts)
+    into.flush()
+    if isinstance(into, FileStore):
+        into.rebuild_index()
+    if conflicts and on_conflict == "error":
+        preview = ", ".join(key[:12] for key in sorted(conflicts)[:5])
+        raise StoreConflictError(
+            f"{len(conflicts)} key(s) hold divergent payloads across the merged "
+            f"stores ({preview}{', …' if len(conflicts) > 5 else ''}); a "
+            "deterministic cell must never produce two different records — "
+            "re-run the sweep, or pick --on-conflict ours/theirs to override",
+            conflicts=sorted(conflicts),
+        )
+    return counters

@@ -1,32 +1,70 @@
-"""Tests of the benchmark harness's machine-readable metrics file."""
+"""Tests of the benchmark harness's machine-readable metrics history."""
 
 from __future__ import annotations
 
 import json
 
+import pytest
+
 from benchmarks import _harness
 
 
-class TestRecordBench:
-    def test_writes_and_merges_entries(self, tmp_path, monkeypatch):
-        monkeypatch.setattr(_harness, "RESULTS_DIR", tmp_path)
-        monkeypatch.setattr(_harness, "BENCH_RESULTS", tmp_path / "BENCH_results.json")
+@pytest.fixture()
+def results_file(tmp_path, monkeypatch):
+    monkeypatch.setattr(_harness, "RESULTS_DIR", tmp_path)
+    monkeypatch.setattr(_harness, "BENCH_RESULTS", tmp_path / "BENCH_results.json")
+    monkeypatch.setitem(_harness._SESSION, "stamp", None)
+    return tmp_path / "BENCH_results.json"
 
+
+class TestRecordBench:
+    def test_writes_history_and_latest(self, results_file):
         _harness.record_bench("bench_a", 2.0, cells=10)
         _harness.record_bench("bench_b", 0.5)
-        _harness.record_bench("bench_a", 4.0, cells=10)  # re-run overwrites
+        _harness.record_bench("bench_a", 4.0, cells=10)  # same-session re-run updates
 
-        results = json.loads((tmp_path / "BENCH_results.json").read_text())
-        assert results["bench_a"] == {"seconds": 4.0, "cells": 10, "cells_per_sec": 2.5}
-        assert results["bench_b"] == {"seconds": 0.5}
+        results = json.loads(results_file.read_text())
+        assert len(results["history"]) == 1
+        session = results["history"][0]
+        assert session["timestamp"] is not None
+        assert session["benches"]["bench_a"] == {
+            "seconds": 4.0,
+            "cells": 10,
+            "cells_per_sec": 2.5,
+        }
+        assert session["benches"]["bench_b"] == {"seconds": 0.5}
+        assert results["latest"] == session["benches"]
 
-    def test_tolerates_a_corrupt_file(self, tmp_path, monkeypatch):
-        monkeypatch.setattr(_harness, "RESULTS_DIR", tmp_path)
-        monkeypatch.setattr(_harness, "BENCH_RESULTS", tmp_path / "BENCH_results.json")
-        (tmp_path / "BENCH_results.json").write_text("{not json", encoding="utf-8")
+    def test_new_session_appends_instead_of_overwriting(self, results_file):
+        _harness.record_bench("bench_a", 1.0, cells=4)
+        # A later pytest session: fresh process, fresh timestamp.
+        _harness._SESSION["stamp"] = "2099-01-01T00:00:00+00:00"
+        _harness.record_bench("bench_a", 2.0, cells=4)
+
+        results = json.loads(results_file.read_text())
+        assert len(results["history"]) == 2
+        assert results["history"][0]["benches"]["bench_a"]["seconds"] == 1.0
+        assert results["history"][1]["benches"]["bench_a"]["seconds"] == 2.0
+        assert results["latest"]["bench_a"]["seconds"] == 2.0
+
+    def test_legacy_flat_file_becomes_first_history_entry(self, results_file):
+        results_file.write_text(
+            json.dumps({"old_bench": {"seconds": 3.0, "cells": 6, "cells_per_sec": 2.0}})
+        )
         _harness.record_bench("bench_a", 1.0, cells=2)
-        results = json.loads((tmp_path / "BENCH_results.json").read_text())
-        assert results == {"bench_a": {"seconds": 1.0, "cells": 2, "cells_per_sec": 2.0}}
+        results = json.loads(results_file.read_text())
+        assert results["history"][0]["timestamp"] is None
+        assert results["history"][0]["benches"]["old_bench"]["seconds"] == 3.0
+        assert results["history"][1]["benches"]["bench_a"]["seconds"] == 1.0
+        assert set(results["latest"]) == {"old_bench", "bench_a"}
+
+    def test_tolerates_a_corrupt_file(self, results_file):
+        results_file.write_text("{not json", encoding="utf-8")
+        _harness.record_bench("bench_a", 1.0, cells=2)
+        results = json.loads(results_file.read_text())
+        assert results["history"][0]["benches"] == {
+            "bench_a": {"seconds": 1.0, "cells": 2, "cells_per_sec": 2.0}
+        }
 
     def test_cell_count_resolution(self):
         class Sized:

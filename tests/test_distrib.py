@@ -1,0 +1,294 @@
+"""Tests of the distributed sweep fabric: queue, claims, worker, executor."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.distrib import Dispatcher, QueueExecutor, Worker, WorkQueue, unit_id
+from repro.exceptions import QueueError, ReproError
+from repro.runtime import ScenarioSpec, SweepSpec
+from repro.runtime.executors import make_executor, run_sweep
+from repro.runtime.runner import run
+from repro.store import FileStore, MemoryStore, merge_stores
+
+#: Four trivial cells; the serial reference for every convergence assertion.
+GRID = SweepSpec(sizes=(4, 6), seeds=(0, 1), name="distrib-tests")
+
+
+def _queue(tmp_path, unit_size=2, sweep=GRID, store=None) -> WorkQueue:
+    queue = WorkQueue(tmp_path / "queue", create=True)
+    Dispatcher(queue, unit_size=unit_size).dispatch(sweep, store=store)
+    return queue
+
+
+def _shard_record_count(queue: WorkQueue) -> int:
+    """Total records across all worker shards == total executions performed."""
+    total = 0
+    for shard_dir in queue.result_store_dirs():
+        with FileStore(shard_dir, create=False, salvage=True) as store:
+            total += len(store)
+    return total
+
+
+class TestUnitId:
+    def test_content_keyed_and_order_sensitive(self):
+        assert unit_id(["a", "b"]) == unit_id(["a", "b"])
+        assert unit_id(["a", "b"]) != unit_id(["b", "a"])
+        assert unit_id(["a"]) != unit_id(["a", "b"])
+
+
+class TestDispatcher:
+    def test_dispatch_partitions_and_is_idempotent(self, tmp_path):
+        queue = _queue(tmp_path, unit_size=3)
+        report = Dispatcher(queue, unit_size=3).dispatch(GRID)
+        assert report["cells"] == 4 and report["skipped_cached"] == 0
+        assert report["units"] == 2
+        assert (report["new_units"], report["existing_units"]) == (0, 2)
+        assert sorted(report["unit_ids"]) == queue.units()
+        assert len(queue.units()) == 2
+        sizes = sorted(len(queue.load_unit(uid)) for uid in queue.units())
+        assert sizes == [1, 3]
+
+    def test_dispatch_skips_cells_already_stored(self, tmp_path):
+        store = MemoryStore()
+        cells = list(GRID.cells())
+        store.put(run(cells[0]))
+        queue = WorkQueue(tmp_path / "queue", create=True)
+        report = Dispatcher(queue, unit_size=1).dispatch(GRID, store=store)
+        assert report["skipped_cached"] == 1
+        assert report["new_units"] == 3
+
+    def test_unit_round_trip_validates_content(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        unit = queue.load_unit(uid)
+        assert unit.unit == uid
+        assert tuple(spec.key() for spec in unit.specs) == unit.keys
+        # Tampering with a cell breaks the content key, loudly.
+        path = queue.unit_path(uid)
+        path.write_text(path.read_text().replace('"seed":0', '"seed":9'))
+        with pytest.raises(QueueError):
+            queue.load_unit(uid)
+
+    def test_queue_refuses_non_queue_directory(self, tmp_path):
+        (tmp_path / "junk").mkdir()
+        with pytest.raises(QueueError):
+            WorkQueue(tmp_path / "junk")
+        with pytest.raises(QueueError):
+            WorkQueue(tmp_path / "missing")
+
+
+class TestClaims:
+    def test_fresh_claim_has_one_winner(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "w1", ttl=60)
+        assert not queue.try_claim(uid, "w2", ttl=60)
+
+    def test_expired_claim_is_stolen(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "dead", ttl=-1)  # already expired
+        assert queue.try_claim(uid, "w2", ttl=60)
+        assert queue.read_claim(uid)["worker"] == "w2"
+
+    def test_own_claim_is_reclaimed_after_restart(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "w1", ttl=3600)
+        # Same worker id, new life: no need to wait out the old lease.
+        assert queue.try_claim(uid, "w1", ttl=3600)
+        assert not queue.try_claim(uid, "w2", ttl=60)
+
+    def test_release_only_by_holder(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        queue.try_claim(uid, "w1", ttl=60)
+        queue.release_claim(uid, "w2")
+        assert queue.read_claim(uid)["worker"] == "w1"
+        queue.release_claim(uid, "w1")
+        assert queue.read_claim(uid) is None
+
+
+class TestWorker:
+    def test_single_worker_drains_to_the_serial_record_set(self, tmp_path):
+        queue = _queue(tmp_path)
+        totals = Worker(queue, worker_id="w1", lease_ttl=60).run()
+        assert totals == {"units": 2, "total": 4, "cached": 0, "salvaged": 0, "executed": 4}
+        assert all(queue.is_done(uid) for uid in queue.units())
+        with FileStore(tmp_path / "merged") as merged:
+            merge_stores(queue.result_store_dirs(), merged)
+            serial = run_sweep(GRID)
+            assert {r.spec.key() for r in serial.records} == set(merged.keys())
+            for record in serial.records:
+                assert merged.get(record.spec) == record
+
+    def test_killed_worker_lease_expires_and_partial_shard_is_salvaged(self, tmp_path):
+        """The crash-convergence story: steal the lease, salvage, converge."""
+        queue = _queue(tmp_path)
+        uids = queue.units()
+        unit = queue.load_unit(uids[0])
+        # Simulate a worker killed mid-unit: one cell executed and persisted
+        # in its shard, the lease still on file but expired, no done marker.
+        with FileStore(queue.results_root / "dead", create=True) as dead_store:
+            dead_store.put(run(unit.specs[0]))
+        assert queue.try_claim(uids[0], "dead", ttl=-1)
+
+        totals = Worker(queue, worker_id="w2", lease_ttl=60, poll=0.05).run()
+        assert totals["salvaged"] == 1
+        assert totals["executed"] == 3
+        done = queue.read_done(uids[0])
+        assert done["worker"] == "w2" and done["salvaged"] == 1
+
+        # Every cell executed exactly once across the whole fleet history.
+        assert _shard_record_count(queue) == len(GRID)
+        with FileStore(tmp_path / "merged") as merged:
+            report = merge_stores(queue.result_store_dirs(), merged)
+            assert report["duplicates"] == 0 and report["conflicts"] == []
+            serial = run_sweep(GRID)
+            assert {r.spec.key() for r in serial.records} == set(merged.keys())
+            for record in serial.records:
+                assert merged.get(record.spec) == record
+
+    def test_worker_restart_reuses_its_own_partial_shard(self, tmp_path):
+        queue = _queue(tmp_path)
+        first = Worker(queue, worker_id="w1", lease_ttl=60, max_units=1).run()
+        assert first["units"] == 1 and first["executed"] == 2
+        # "Restart": same id drains the rest; its earlier records stay cached.
+        second = Worker(queue, worker_id="w1", lease_ttl=60).run()
+        assert second["executed"] == 2 and second["cached"] == 0
+        assert _shard_record_count(queue) == len(GRID)
+
+    def test_unit_done_between_scan_and_claim_is_not_rerun(self, tmp_path):
+        queue = _queue(tmp_path)
+        Worker(queue, worker_id="w1", lease_ttl=60).run()
+        # A late worker arrives at a fully drained queue: nothing to do.
+        totals = Worker(queue, worker_id="w2", lease_ttl=60).run()
+        assert totals == {"units": 0, "total": 0, "cached": 0, "salvaged": 0, "executed": 0}
+
+    def test_status_accounts_every_cell(self, tmp_path):
+        queue = _queue(tmp_path)
+        Worker(queue, worker_id="w1", lease_ttl=60).run()
+        status = queue.status()
+        assert status["units"] == status["done"] == 2
+        assert status["cells"] == status["executed"] == 4
+        assert status["salvaged"] == status["cached"] == 0
+
+
+class TestQueueExecutor:
+    def test_matches_serial_run(self, tmp_path):
+        serial = run_sweep(GRID)
+        queued = run_sweep(
+            GRID,
+            executor=QueueExecutor(workers=2, queue_dir=tmp_path / "q", unit_size=1),
+        )
+        assert queued.records == serial.records
+        # The explicit queue directory is kept for inspection.
+        assert WorkQueue(tmp_path / "q").status()["done"] == 4
+
+    def test_integrates_with_the_store(self, tmp_path):
+        with FileStore(tmp_path / "store") as store:
+            queued = run_sweep(GRID, executor=QueueExecutor(workers=2), store=store)
+            assert queued.executed == 4 and queued.cache_hits == 0
+            warm = run_sweep(GRID, store=store)
+            assert warm.cache_hits == 4 and warm.executed == 0
+            assert warm.records == queued.records
+
+    def test_reused_queue_dir_ignores_previous_sweeps(self, tmp_path):
+        """A kept queue directory accumulates sweeps; each run watches only
+        its own units and returns only its own records."""
+        first_sweep = SweepSpec(sizes=(4,), seeds=(0, 1), name="distrib-tests")
+        second_sweep = SweepSpec(sizes=(6,), seeds=(0, 1), name="distrib-tests")
+        executor = QueueExecutor(workers=1, queue_dir=tmp_path / "q", unit_size=2)
+        run_sweep(first_sweep, executor=executor)
+        events = []
+        second = run_sweep(
+            second_sweep,
+            executor=executor,
+            progress=lambda done, total, record: events.append((done, total)),
+        )
+        assert events == [(1, 2), (2, 2)]  # not inflated by the first sweep
+        assert second.records == run_sweep(second_sweep).records
+
+    def test_rejects_live_model_override(self):
+        from repro.exploration.cost_model import SimulationCostModel
+
+        with pytest.raises(ReproError):
+            QueueExecutor(workers=1).map_specs(
+                [ScenarioSpec(size=4)], model=SimulationCostModel()
+            )
+
+    def test_make_executor_kinds(self):
+        from repro.runtime.executors import ProcessPoolExecutor, SerialExecutor
+
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(3), ProcessPoolExecutor)
+        assert isinstance(make_executor(2, kind="serial"), SerialExecutor)
+        assert isinstance(make_executor(None, kind="pool"), ProcessPoolExecutor)
+        queue_executor = make_executor(3, kind="queue", unit_size=2)
+        assert isinstance(queue_executor, QueueExecutor)
+        assert queue_executor.workers == 3 and queue_executor.unit_size == 2
+        with pytest.raises(ReproError):
+            make_executor(2, kind="warp")
+        with pytest.raises(ReproError):
+            make_executor(2, kind="pool", unit_size=2)
+
+
+class TestCliSurface:
+    def test_dispatch_worker_status_merge_lifecycle(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "q")
+        serial_dir = str(tmp_path / "serial")
+        merged_dir = str(tmp_path / "merged")
+
+        assert main(["queue", "dispatch", "--sizes", "4", "6", "--seeds", "2",
+                     "--queue", queue_dir, "--unit-size", "2"]) == 0
+        assert "dispatched 4 cells" in capsys.readouterr().out
+        # Queue not drained yet: status exits non-zero.
+        assert main(["queue", "status", "--queue", queue_dir]) == 1
+        capsys.readouterr()
+
+        assert main(["worker", "--queue", queue_dir, "--worker-id", "w1",
+                     "--lease-ttl", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "worker w1: 2 units" in out and "4 executed" in out
+
+        assert main(["queue", "status", "--queue", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 units done" in out and "executed 4/4" in out
+
+        assert main(["store", "merge", str(tmp_path / "q" / "results" / "w1"),
+                     "--into", merged_dir]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--sizes", "4", "6", "--seeds", "2", "--quiet",
+                     "--store", serial_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "ls", "--store", merged_dir, "--keys"]) == 0
+        merged_keys = capsys.readouterr().out
+        assert main(["store", "ls", "--store", serial_dir, "--keys"]) == 0
+        serial_keys = capsys.readouterr().out
+        assert merged_keys == serial_keys and len(merged_keys.splitlines()) == 4
+
+    def test_sweep_executor_queue_flag(self, tmp_path, capsys):
+        assert main(["sweep", "--sizes", "4", "--seeds", "2", "--quiet",
+                     "--jobs", "2", "--executor", "queue",
+                     "--queue", str(tmp_path / "q"), "--unit-size", "1",
+                     "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "cached 0/2, executed 2" in out
+
+    def test_worker_on_missing_queue_errors(self, tmp_path, capsys):
+        assert main(["worker", "--queue", str(tmp_path / "missing")]) == 2
+        assert "no work queue" in capsys.readouterr().err
+
+    def test_dispatch_store_skip(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", "--sizes", "4", "--seeds", "2", "--quiet",
+                     "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["queue", "dispatch", "--sizes", "4", "6", "--seeds", "2",
+                     "--queue", str(tmp_path / "q"), "--store", store_dir]) == 0
+        assert "2 cells already stored" in capsys.readouterr().out
