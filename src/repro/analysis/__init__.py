@@ -37,6 +37,8 @@ from .experiment_spec import (
     ExperimentSpec,
     aggregate_from_store,
     experiment,
+    experiment_document,
+    experiment_key,
     experiment_spec,
     run_experiment,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "ExperimentSpec",
     "aggregate_from_store",
     "experiment",
+    "experiment_document",
+    "experiment_key",
     "experiment_spec",
     "run_experiment",
     "FitResult",

@@ -30,6 +30,7 @@ whole table from ``store`` reads.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -47,13 +48,37 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "EXPERIMENTS",
+    "EXPERIMENT_KEY_VERSION",
     "experiment",
+    "experiment_key",
     "experiment_spec",
+    "experiment_document",
     "run_experiment",
     "aggregate_records",
     "aggregate_from_store",
     "team_scaling_cells",
 ]
+
+#: Version of the content-hash schema used by :func:`experiment_key`.  Bump
+#: whenever the meaning of an ExperimentSpec field changes incompatibly, so
+#: every cached rendering (and every client-held ETag) misses cleanly.
+EXPERIMENT_KEY_VERSION = 1
+
+
+def experiment_key(spec: "ExperimentSpec") -> str:
+    """Content hash of an experiment: sha256 over its canonical JSON form.
+
+    The experiment-side half of the result service's ETag (the other half
+    is the store's :meth:`~repro.store.base.ResultStore.generation`): two
+    specs share a key exactly when they run the same cells through the same
+    pipeline into the same rendering — so equal keys over an unchanged
+    store promise byte-identical output without computing any of it.
+    """
+    payload = (
+        f"repro.ExperimentSpec.v{EXPERIMENT_KEY_VERSION}:"
+        f"{canonical_json(spec.to_dict())}"
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def _frozen_ops(ops: Any) -> Tuple[Dict[str, Any], ...]:
@@ -122,6 +147,10 @@ class ExperimentSpec:
         """The content-hash store keys of every cell, in table order."""
         return [cell.key() for cell in self.cell_specs()]
 
+    def key(self) -> str:
+        """This experiment's content hash (see :func:`experiment_key`)."""
+        return experiment_key(self)
+
     # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------
@@ -188,11 +217,32 @@ class ExperimentResult:
         return self.result.executed
 
     def render(self, format: str = "markdown") -> str:
-        """The table in the requested format (``markdown``/``csv``/``json``)."""
+        """The table in the requested format (``markdown``/``csv``/``json``).
+
+        The JSON form is the canonical experiment document
+        (:func:`experiment_document`) — the **same serializer** the HTTP
+        result service answers ``GET /experiments/<name>`` with, so ``repro
+        experiment --format json`` and a served response are byte-identical.
+        """
+        if format == "json":
+            return json.dumps(experiment_document(self), indent=2, sort_keys=True)
         return render(self.table, format=format)
 
     def __str__(self) -> str:
         return self.render()
+
+
+def experiment_document(result: "ExperimentResult") -> Dict[str, Any]:
+    """The canonical JSON document of an aggregated experiment.
+
+    The table document (title, columns, rows, footers) plus the experiment's
+    registry name — and nothing run-dependent (no cache/execution counters),
+    so a cold run, a warm re-render and a pure store read of the same
+    experiment over the same records serialise identically.
+    """
+    document = result.table.to_dict()
+    document["experiment"] = result.spec.name
+    return document
 
 
 def aggregate_records(

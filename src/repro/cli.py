@@ -43,8 +43,14 @@ whose pieces may run on different machines::
 
     repro queue dispatch --sizes 4 8 12 --seeds 3 --queue /shared/q
     repro worker --queue /shared/q          # on any machine, any number
-    repro queue status --queue /shared/q
+    repro queue status --queue /shared/q    # add --json for machines
     repro store merge /shared/q/results/* --into .repro-store
+
+Serve the store, the experiment registry and the queue fabric over HTTP
+(GET /experiments/<name> renders with an ETag so warm clients get 304s;
+POST /sweeps dispatches onto the queue for workers to drain)::
+
+    repro serve --store .repro-store --queue /shared/q --port 8642
 
 Run Procedure ESST on a random graph::
 
@@ -93,6 +99,8 @@ from .runtime import (
 from .distrib import Dispatcher, Worker, WorkQueue
 from .runtime.executors import make_executor, run_sweep
 from .runtime.runner import run
+from .serve import DEFAULT_PORT as SERVE_DEFAULT_PORT
+from .serve import ResultService, make_server
 from .store import DEFAULT_STORE_DIR, FileStore, merge_stores
 from .store.merge import ON_CONFLICT_CHOICES
 
@@ -347,6 +355,47 @@ def build_parser() -> argparse.ArgumentParser:
     queue_status = queue_sub.add_parser("status", help="summarise a queue's progress")
     queue_status.add_argument(
         "--queue", required=True, metavar="DIR", help="the work-queue directory"
+    )
+    queue_status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status counters as one JSON object (machine-readable)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the result store, experiments and work queue over HTTP",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE_DIR,
+        help=f"result store to serve (default: {DEFAULT_STORE_DIR}; created if missing)",
+    )
+    serve.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help="work-queue directory enabling POST /sweeps (default: no queue — "
+        "the sweep endpoints answer 503)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=SERVE_DEFAULT_PORT,
+        help=f"TCP port; 0 picks a free one (default: {SERVE_DEFAULT_PORT})",
+    )
+    serve.add_argument(
+        "--unit-size",
+        type=int,
+        default=4,
+        help="cells per dispatched work unit for POST /sweeps (default: 4)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
     )
 
     experiment = subparsers.add_parser(
@@ -718,17 +767,48 @@ def _run_queue(args: argparse.Namespace) -> int:
         return 0
     if args.queue_command == "status":
         status = WorkQueue(args.queue).status()
+        drained = status["units"] == status["done"] + status["cancelled"]
+        if args.json:
+            print(json.dumps({**status, "drained": drained}, indent=2, sort_keys=True))
+            return 0 if drained else 1
+        cancelled = (
+            f", {status['cancelled']} cancelled" if status["cancelled"] else ""
+        )
         print(
-            f"queue {args.queue}: {status['done']}/{status['units']} units done, "
-            f"{status['claimed']} claimed, {status['pending']} pending "
+            f"queue {args.queue}: {status['done']}/{status['units']} units done"
+            f"{cancelled}, {status['claimed']} claimed, {status['pending']} pending "
             f"({status['workers']} worker shards)"
         )
         print(
             f"cells: executed {status['executed']}/{status['cells']}, "
             f"salvaged {status['salvaged']}, cached {status['cached']}"
         )
-        return 0 if status["units"] == status["done"] else 1
+        return 0 if drained else 1
     return 2  # pragma: no cover (argparse enforces the sub-command)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    store = FileStore(args.store, create=True)
+    try:
+        service = ResultService(store, queue=args.queue, unit_size=args.unit_size)
+        server = make_server(
+            service, args.host, args.port, quiet=not args.verbose
+        )
+        host, port = server.server_address[:2]
+        mode = f"queue: {args.queue}" if args.queue else "read-only (no queue)"
+        print(
+            f"repro serve: http://{host}:{port}/ — store: {args.store}, {mode}",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        finally:
+            server.server_close()
+    finally:
+        store.close()
+    return 0
 
 
 def _run_experiment(args: argparse.Namespace) -> int:
@@ -887,6 +967,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _run_sweep,
         "worker": _run_worker,
         "queue": _run_queue,
+        "serve": _run_serve,
         "experiment": _run_experiment,
         "store": _run_store,
     }

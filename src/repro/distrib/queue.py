@@ -308,8 +308,89 @@ class WorkQueue:
                 os.unlink(self.claim_path(uid))
 
     # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel_unit(self, uid: str, now: Optional[float] = None) -> str:
+        """Tombstone unit ``uid`` so no worker will ever execute it.
+
+        Cancellation goes through the ordinary claim protocol — take the
+        lease, write a done marker flagged ``"cancelled"``, release — so it
+        can never race a worker: whoever wins the claim decides the unit's
+        fate.  An *actively leased* unit is left alone (its worker finishes
+        it; killing in-flight work would waste the computation).  Returns
+        what happened: ``"cancelled"``, ``"already_done"``,
+        ``"already_cancelled"`` or ``"claimed"``.
+        """
+        now = time.time() if now is None else now
+        done = self.read_done(uid)
+        if done is not None:
+            return "already_cancelled" if done.get("cancelled") else "already_done"
+        canceller = f"cancel-{os.getpid()}"
+        if not self.try_claim(uid, canceller, ttl=60.0, now=now):
+            return "claimed"
+        try:
+            done = self.read_done(uid)
+            if done is not None:  # finished while we claimed
+                return "already_cancelled" if done.get("cancelled") else "already_done"
+            data = _read_json(self.unit_path(uid)) or {}
+            keys = list(data.get("keys", ()))
+            self.write_done(
+                uid,
+                {
+                    "unit": uid,
+                    "worker": canceller,
+                    "cancelled": True,
+                    "keys": keys,
+                    "total": len(keys),
+                    "cached": 0,
+                    "salvaged": 0,
+                    "executed": 0,
+                },
+            )
+            return "cancelled"
+        finally:
+            self.release_claim(uid, canceller)
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
+    def unit_states(
+        self, uids: Optional[Sequence[str]] = None, now: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Per-unit lifecycle snapshots, in unit-id order.
+
+        Each entry reports the unit's id, its cell count and its ``state``
+        (``pending`` / ``claimed`` / ``done`` / ``cancelled``), plus the
+        lease holder and remaining lease seconds while claimed and the done
+        marker's execution counters once finished.  This is the live-progress
+        introspection behind ``GET /sweeps/<id>/progress``.
+        """
+        now = time.time() if now is None else now
+        states: List[Dict[str, Any]] = []
+        for uid in self.units() if uids is None else uids:
+            data = _read_json(self.unit_path(uid))
+            entry: Dict[str, Any] = {
+                "unit": uid,
+                "cells": len(data.get("keys", ())) if data else 0,
+            }
+            done = self.read_done(uid)
+            if done is not None:
+                entry["state"] = "cancelled" if done.get("cancelled") else "done"
+                entry["worker"] = done.get("worker")
+                for counter in ("executed", "salvaged", "cached"):
+                    entry[counter] = int(done.get(counter, 0))
+            else:
+                claim = self.read_claim(uid)
+                expires = float(claim.get("expires", 0.0)) if claim else 0.0
+                if claim is not None and expires > now:
+                    entry["state"] = "claimed"
+                    entry["worker"] = claim.get("worker")
+                    entry["lease_remaining"] = round(expires - now, 3)
+                else:
+                    entry["state"] = "pending"
+            states.append(entry)
+        return states
+
     def status(self, now: Optional[float] = None) -> Dict[str, Any]:
         """Aggregate queue state: unit/cell counts and execution totals.
 
@@ -320,7 +401,7 @@ class WorkQueue:
         now = time.time() if now is None else now
         uids = self.units()
         cells = 0
-        done_units = 0
+        done_units = cancelled_units = 0
         executed = salvaged = cached = 0
         claimed_active = 0
         pending = 0
@@ -329,6 +410,9 @@ class WorkQueue:
             cells += len(data.get("keys", ())) if data else 0
             done = self.read_done(uid)
             if done is not None:
+                if done.get("cancelled"):
+                    cancelled_units += 1
+                    continue
                 done_units += 1
                 executed += int(done.get("executed", 0))
                 salvaged += int(done.get("salvaged", 0))
@@ -343,6 +427,7 @@ class WorkQueue:
             "units": len(uids),
             "cells": cells,
             "done": done_units,
+            "cancelled": cancelled_units,
             "claimed": claimed_active,
             "pending": pending,
             "executed": executed,

@@ -1,0 +1,22 @@
+"""``repro serve``: the HTTP result service.
+
+Public API
+----------
+* :class:`~repro.serve.app.ResultService` — socket-free request core
+  (routing, ETag/304, render cache, metrics)
+* :func:`~repro.serve.app.make_server` — bind a ``ThreadingHTTPServer``
+* :class:`~repro.serve.jobs.SweepJobs` / :func:`~repro.serve.jobs.job_id`
+  — the ``POST /sweeps`` lifecycle over the queue fabric
+"""
+
+from .app import DEFAULT_PORT, Response, ResultService, make_server
+from .jobs import SweepJobs, job_id
+
+__all__ = [
+    "DEFAULT_PORT",
+    "Response",
+    "ResultService",
+    "make_server",
+    "SweepJobs",
+    "job_id",
+]

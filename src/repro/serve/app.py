@@ -1,0 +1,523 @@
+"""The HTTP result service: the store + experiments + queue fabric as an API.
+
+A deliberately minimal serving tier — stdlib ``http.server`` only, one
+:class:`ResultService` whose :meth:`~ResultService.handle` maps a parsed
+request to a :class:`Response` without touching a socket (which is what the
+tests drive), and a thin :class:`ThreadingHTTPServer` wrapper around it.
+
+Read path
+---------
+``GET /experiments/<name>`` renders a registered experiment through the
+same :func:`~repro.analysis.experiment_spec.aggregate_from_store` /
+:func:`~repro.analysis.experiment_spec.run_experiment` pipeline as the CLI,
+so the bytes served equal the bytes ``repro experiment`` prints.  Every
+response carries an ETag built from the experiment's content hash
+(:func:`~repro.analysis.experiment_spec.experiment_key`) and the store's
+:meth:`~repro.store.base.ResultStore.generation` stamp: a repeat request
+with ``If-None-Match`` is answered ``304 Not Modified`` from the two hashes
+alone — no record reads, no aggregation, no rendering, and never an
+execution.  Unconditional repeats hit a bounded rendered-bytes cache keyed
+by the same ETag.  ``GET /runs`` pages the store's canonical-order query
+layer; ``GET /runs/<key>`` fetches one record by (a unique prefix of) its
+content address.
+
+Write path
+----------
+``POST /sweeps`` dispatches a :class:`~repro.runtime.spec.SweepSpec` onto
+the queue fabric and returns a content-keyed job id (see
+:mod:`repro.serve.jobs`); ``GET /sweeps/<id>/status`` / ``…/progress``
+observe the unit lease/done files; ``POST /sweeps/<id>/cancel`` tombstones
+unclaimed units.  The service itself never executes sweep cells — workers
+drain the queue, and a store merge makes their records servable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from ..analysis.experiment_spec import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    aggregate_from_store,
+    experiment_spec,
+    run_experiment,
+)
+from ..analysis.render import FORMATS
+from ..distrib.dispatcher import DEFAULT_UNIT_SIZE
+from ..distrib.queue import WorkQueue
+from ..exceptions import QueueError, ReproError
+from ..runtime.records import RunRecord
+from ..runtime.spec import SweepSpec
+from ..store.base import ResultStore
+from .jobs import SweepJobs
+
+__all__ = ["Response", "ResultService", "make_server", "DEFAULT_PORT"]
+
+#: Default TCP port of ``repro serve``.
+DEFAULT_PORT = 8642
+
+#: Rendered-bytes cache entries kept per service (FIFO eviction).
+_RENDER_CACHE_SIZE = 128
+
+#: MIME type per table format.
+_CONTENT_TYPES = {
+    "markdown": "text/markdown; charset=utf-8",
+    "csv": "text/csv; charset=utf-8",
+    "json": "application/json; charset=utf-8",
+}
+
+#: Most /runs a single page may return.
+MAX_PAGE_LIMIT = 1000
+
+#: Default /runs page size.
+DEFAULT_PAGE_LIMIT = 50
+
+
+class Response(NamedTuple):
+    """One materialised HTTP response: status, extra headers, body bytes."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+
+class _HTTPError(Exception):
+    """Internal control flow: unwound into a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _json_response(
+    payload: Any, status: int = 200, headers: Optional[Dict[str, str]] = None
+) -> Response:
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    merged = {"Content-Type": _CONTENT_TYPES["json"]}
+    if headers:
+        merged.update(headers)
+    return Response(status, merged, body)
+
+
+def _int_param(params: Dict[str, str], name: str, default: int) -> int:
+    raw = params.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise _HTTPError(400, f"query parameter {name!r} must be an integer, got {raw!r}")
+
+
+def _run_summary(record: RunRecord) -> Dict[str, Any]:
+    key = record.spec.key()
+    return {
+        "key": key,
+        "problem": record.problem,
+        "family": record.family,
+        "n": record.graph_size,
+        "seed": record.seed,
+        "scheduler": record.scheduler,
+        "ok": record.ok,
+        "cost": record.cost,
+        "url": f"/runs/{key}",
+    }
+
+
+class ResultService:
+    """The routing/cache/metrics core of ``repro serve`` (socket-free).
+
+    Parameters
+    ----------
+    store:
+        The serving :class:`~repro.store.base.ResultStore`.  A
+        :class:`~repro.store.filestore.FileStore` is refreshed before every
+        read, so records appended by concurrent workers (or a ``store
+        merge``) become servable without a restart.
+    queue:
+        Optional work-queue directory (or open
+        :class:`~repro.distrib.queue.WorkQueue`) enabling the ``/sweeps``
+        write path; without it those endpoints answer ``503``.
+    unit_size:
+        Default cells per dispatched work unit for ``POST /sweeps``.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        queue: Optional[Union[WorkQueue, str]] = None,
+        unit_size: int = DEFAULT_UNIT_SIZE,
+    ) -> None:
+        self.store = store
+        self.jobs = (
+            None if queue is None else SweepJobs(queue, store=store, unit_size=unit_size)
+        )
+        self._lock = threading.RLock()
+        self._render_cache: "OrderedDict[Tuple[str, str, str], Tuple[Response, str]]" = (
+            OrderedDict()
+        )
+        self.metrics: Dict[str, Any] = {
+            "requests_total": 0,
+            "requests": {},
+            "errors": 0,
+            "etag_not_modified": 0,
+            "render_cache_hits": 0,
+            "render_cache_misses": 0,
+            "renders": 0,
+            "experiment_executions": 0,
+            "sweeps_dispatched": 0,
+            "sweeps_cancelled": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, str]] = None,
+        headers: Optional[Dict[str, str]] = None,
+        body: bytes = b"",
+    ) -> Response:
+        """Answer one request.  Thread-safe; never raises for request errors
+        (they become JSON ``4xx``/``5xx`` bodies), so every handler thread
+        of the HTTP server funnels through here without ceremony."""
+        params = params or {}
+        headers = {key.lower(): value for key, value in (headers or {}).items()}
+        with self._lock:
+            self.metrics["requests_total"] += 1
+            try:
+                route, response = self._route(method, path, params, headers, body)
+            except _HTTPError as error:
+                route, response = "error", _json_response(
+                    {"error": str(error)}, status=error.status
+                )
+                self.metrics["errors"] += 1
+            except ReproError as error:
+                route, response = "error", _json_response(
+                    {"error": str(error)}, status=400
+                )
+                self.metrics["errors"] += 1
+            by_route = self.metrics["requests"]
+            by_route[route] = by_route.get(route, 0) + 1
+            return response
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        params: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[str, Response]:
+        parts = [part for part in path.split("/") if part]
+        if not parts:
+            return "index", self._index()
+        head, rest = parts[0], parts[1:]
+        if head == "healthz" and not rest:
+            self._need(method, "GET")
+            return "healthz", _json_response({"ok": True})
+        if head == "metrics" and not rest:
+            self._need(method, "GET")
+            return "metrics", self._metrics()
+        if head == "experiments":
+            self._need(method, "GET")
+            if not rest:
+                return "experiments", self._list_experiments()
+            if len(rest) == 1:
+                return "experiment", self._get_experiment(rest[0], params, headers)
+        if head == "runs":
+            self._need(method, "GET")
+            if not rest:
+                return "runs", self._list_runs(params)
+            if len(rest) == 1:
+                return "run", self._get_run(rest[0])
+        if head == "sweeps":
+            if not rest:
+                self._need(method, "POST")
+                return "sweep_submit", self._submit_sweep(body)
+            if len(rest) == 2 and rest[1] in ("status", "progress", "cancel"):
+                self._need(method, "POST" if rest[1] == "cancel" else "GET")
+                return f"sweep_{rest[1]}", self._sweep(rest[1], rest[0])
+        raise _HTTPError(404, f"no such endpoint: {method} {path}")
+
+    @staticmethod
+    def _need(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HTTPError(405, f"method {method} not allowed (use {expected})")
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _index(self) -> Response:
+        return _json_response(
+            {
+                "service": "repro serve",
+                "endpoints": {
+                    "GET /healthz": "liveness probe",
+                    "GET /metrics": "request / cache / execution counters",
+                    "GET /experiments": "registered experiments",
+                    "GET /experiments/<name>?format=markdown|csv|json": (
+                        "rendered experiment table (ETag: experiment key + store generation)"
+                    ),
+                    "GET /runs?problem=&family=&scheduler=&n_min=&n_max=&ok=&limit=&offset=": (
+                        "stored run records, canonical order, paginated"
+                    ),
+                    "GET /runs/<spec_key>": "one stored record (unique prefixes allowed)",
+                    "POST /sweeps": "dispatch a SweepSpec onto the work queue",
+                    "GET /sweeps/<id>/status": "aggregate job state",
+                    "GET /sweeps/<id>/progress": "per-unit lease/done detail",
+                    "POST /sweeps/<id>/cancel": "tombstone the job's unclaimed units",
+                },
+                "sweeps_enabled": self.jobs is not None,
+            }
+        )
+
+    def _metrics(self) -> Response:
+        payload = dict(self.metrics)
+        payload["store_records"] = len(self.store)
+        payload["render_cache_entries"] = len(self._render_cache)
+        payload["sweeps_in_flight"] = 0 if self.jobs is None else self.jobs.in_flight()
+        return _json_response(payload)
+
+    def _list_experiments(self) -> Response:
+        experiments = []
+        for name in EXPERIMENTS.names():
+            spec = experiment_spec(name)
+            experiments.append(
+                {
+                    "name": name,
+                    "title": spec.title,
+                    "cells": len(spec.cell_specs()),
+                    "url": f"/experiments/{name}",
+                }
+            )
+        return _json_response({"experiments": experiments})
+
+    def _etag(self, spec: ExperimentSpec) -> str:
+        return f'"{spec.key()}.{self.store.generation()}"'
+
+    def _get_experiment(
+        self, name: str, params: Dict[str, str], headers: Dict[str, str]
+    ) -> Response:
+        format = params.get("format", "markdown")
+        if format not in FORMATS:
+            raise _HTTPError(
+                400, f"unknown format {format!r}; available: {sorted(FORMATS)}"
+            )
+        try:
+            spec = experiment_spec(name)
+        except ReproError as error:
+            raise _HTTPError(404, str(error))
+        self.store.refresh()
+        etag = self._etag(spec)
+        if_none_match = headers.get("if-none-match", "")
+        if if_none_match and (etag in if_none_match or if_none_match.strip() == "*"):
+            # The warm-hit fast path: two hashes decided nothing changed —
+            # zero record reads, zero renders, zero executions.
+            self.metrics["etag_not_modified"] += 1
+            return Response(304, {"ETag": etag}, b"")
+        cache_key = (name, format, etag)
+        cached = self._render_cache.get(cache_key)
+        if cached is not None:
+            self.metrics["render_cache_hits"] += 1
+            self._render_cache.move_to_end(cache_key)
+            return cached[0]
+        self.metrics["render_cache_misses"] += 1
+        try:
+            result = aggregate_from_store(spec, self.store)
+        except ReproError:
+            # Cold: some cells are not stored yet.  Execute them through the
+            # ordinary experiment pipeline (persisting as they complete),
+            # then restamp the ETag — the store generation just moved.
+            result = run_experiment(spec, store=self.store)
+            self.metrics["experiment_executions"] += result.executed
+            etag = self._etag(spec)
+            cache_key = (name, format, etag)
+        self.metrics["renders"] += 1
+        body = (result.render(format) + "\n").encode("utf-8")
+        base_headers = {
+            "Content-Type": _CONTENT_TYPES[format],
+            "ETag": etag,
+            "X-Repro-Cells": str(len(result.records)),
+        }
+        response = Response(
+            200, {**base_headers, "X-Repro-Executed": str(result.executed)}, body
+        )
+        # Replays of this entry did not execute anything, whatever the cold
+        # request that populated it had to do — cache a zeroed header.
+        self._render_cache[cache_key] = (
+            Response(200, {**base_headers, "X-Repro-Executed": "0"}, body),
+            etag,
+        )
+        while len(self._render_cache) > _RENDER_CACHE_SIZE:
+            self._render_cache.popitem(last=False)
+        return response
+
+    def _list_runs(self, params: Dict[str, str]) -> Response:
+        self.store.refresh()
+        matches: Dict[str, Any] = {}
+        for name in ("problem", "family", "scheduler"):
+            if name in params:
+                matches[name] = params[name]
+        n_min = _int_param(params, "n_min", 0)
+        n_max = _int_param(params, "n_max", -1)
+        if "n_min" in params or "n_max" in params:
+            matches["n_range"] = (n_min, n_max if n_max >= 0 else (1 << 62))
+        if "ok" in params:
+            matches["ok"] = params["ok"].lower() in ("1", "true", "yes")
+        limit = _int_param(params, "limit", DEFAULT_PAGE_LIMIT)
+        offset = _int_param(params, "offset", 0)
+        if not 0 < limit <= MAX_PAGE_LIMIT:
+            raise _HTTPError(400, f"limit must be in 1..{MAX_PAGE_LIMIT}, got {limit}")
+        if offset < 0:
+            raise _HTTPError(400, f"offset must be non-negative, got {offset}")
+        # One extra record decides "more" without a full count of the match set.
+        result = self.store.query(limit=limit + 1, offset=offset, **matches)
+        page = result.records[:limit]
+        return _json_response(
+            {
+                "runs": [_run_summary(record) for record in page],
+                "count": len(page),
+                "offset": offset,
+                "limit": limit,
+                "more": len(result.records) > limit,
+            }
+        )
+
+    def _get_run(self, key: str) -> Response:
+        self.store.refresh()
+        record = self.store.get(key) if len(key) == 64 else None
+        if record is None:
+            hits = sorted(stored for stored in self.store.keys() if stored.startswith(key))
+            if len(hits) > 1:
+                raise _HTTPError(
+                    400, f"key prefix {key!r} is ambiguous ({len(hits)} matches)"
+                )
+            record = self.store.get(hits[0]) if hits else None
+        if record is None:
+            raise _HTTPError(404, f"no stored record matches key {key!r}")
+        payload = record.to_dict()
+        payload["key"] = record.spec.key()
+        return _json_response(payload)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _need_jobs(self) -> SweepJobs:
+        if self.jobs is None:
+            raise _HTTPError(
+                503, "no work queue configured; restart with repro serve --queue DIR"
+            )
+        return self.jobs
+
+    def _submit_sweep(self, body: bytes) -> Response:
+        jobs = self._need_jobs()
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HTTPError(400, f"request body is not JSON: {error}")
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        unit_size = payload.pop("unit_size", None) if "sweep" in payload else None
+        sweep_data = payload.get("sweep", payload)
+        if not isinstance(sweep_data, dict):
+            raise _HTTPError(400, "'sweep' must be a SweepSpec JSON object")
+        try:
+            sweep = SweepSpec.from_dict(sweep_data)
+            job = jobs.submit(
+                sweep, unit_size=None if unit_size is None else int(unit_size)
+            )
+        except (ReproError, TypeError, ValueError) as error:
+            raise _HTTPError(400, f"undispatchable sweep: {error}")
+        self.metrics["sweeps_dispatched"] += 1
+        jid = job["job"]
+        return _json_response(
+            {
+                "job": jid,
+                "cells": job["cells"],
+                "skipped_cached": job["skipped_cached"],
+                "units": len(job["unit_ids"]),
+                "status_url": f"/sweeps/{jid}/status",
+                "progress_url": f"/sweeps/{jid}/progress",
+            },
+            status=202,
+            headers={"Location": f"/sweeps/{jid}/status"},
+        )
+
+    def _sweep(self, action: str, jid: str) -> Response:
+        jobs = self._need_jobs()
+        try:
+            if action == "status":
+                return _json_response(jobs.status(jid))
+            if action == "progress":
+                return _json_response(jobs.progress(jid))
+            report = jobs.cancel(jid)
+        except QueueError as error:
+            raise _HTTPError(404, str(error))
+        self.metrics["sweeps_cancelled"] += 1
+        return _json_response(report)
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    """Socket adapter: parse, delegate to the service, write the response."""
+
+    service: ResultService  # injected by make_server via a subclass attribute
+    quiet = True
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - log formatting only
+            super().log_message(format, *args)
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urlsplit(self.path)
+        params = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        response = self.service.handle(
+            method, parsed.path, params=params, headers=dict(self.headers), body=body
+        )
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        if response.body and response.status != 304:
+            self.wfile.write(response.body)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+
+def make_server(
+    service: ResultService,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server for ``service`` (``port=0`` picks a free
+    one; read it back from ``server.server_address``).  The caller owns the
+    serve_forever/shutdown lifecycle — and the store's, whose handle must
+    outlive the server."""
+    handler = type(
+        "ReproRequestHandler", (_Handler,), {"service": service, "quiet": quiet}
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

@@ -21,6 +21,7 @@ straight off the store.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..runtime.records import RunRecord, SweepResult
@@ -97,6 +98,27 @@ class ResultStore:
     def __len__(self) -> int:
         return len(self.keys())
 
+    def generation(self) -> str:
+        """Content stamp of the stored key set: equal stamps, equal contents.
+
+        A deterministic hash over the sorted keys — stable across processes,
+        restarts and on-disk compaction, different the moment any record is
+        added or evicted.  The serving tier combines it with an experiment's
+        own content hash into an ETag, so "has anything this table depends
+        on changed?" costs one in-memory hash and zero record reads.
+        """
+        digest = hashlib.sha256("\n".join(sorted(self.keys())).encode("ascii"))
+        return digest.hexdigest()[:16]
+
+    def refresh(self) -> bool:
+        """Pick up records concurrently written by other handles/processes.
+
+        Returns ``True`` when new state became visible.  A no-op for
+        backends without shared external state (the in-memory store sees
+        its own writes immediately).
+        """
+        return False
+
     # ------------------------------------------------------------------
     # lifecycle (no-ops for backends without buffered state)
     # ------------------------------------------------------------------
@@ -123,6 +145,8 @@ class ResultStore:
         cost_range: Optional[Tuple[int, int]] = None,
         ok: Optional[bool] = None,
         keys: Optional[Iterable[KeyLike]] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
         **matches: Any,
     ) -> SweepResult:
         """Stored records matching the given filters, as a ``SweepResult``.
@@ -138,7 +162,16 @@ class ResultStore:
         :mod:`repro.analysis.aggregate`-style aggregation::
 
             store.query(problem="rendezvous", family="ring", n_range=(4, 12))
+
+        ``limit`` / ``offset`` paginate: they slice the *canonically ordered*
+        match set, so successive pages of the same query never overlap, skip
+        or reorder records — the contract the HTTP result service's
+        ``GET /runs?limit=&offset=`` relies on.
         """
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
         if keys is not None:
             # Keyed lookups, not a scan: keys are content-hash addresses, so
             # the cost is O(len(keys)) regardless of how big the store is.
@@ -164,6 +197,9 @@ class ResultStore:
             selected.append(record)
         result = SweepResult(records=selected).filter(**matches) if matches else SweepResult(records=selected)
         result.records.sort(key=_canonical_order)
+        if offset or limit is not None:
+            stop = None if limit is None else offset + limit
+            result.records[:] = result.records[offset:stop]
         return result
 
     # ------------------------------------------------------------------

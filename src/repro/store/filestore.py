@@ -18,8 +18,10 @@ Every ``put`` appends **one line** to the record's shard, flushes it, and
 then appends one line to the index.  A single-line append is atomic for any
 realistic line size, so a sweep killed at an arbitrary moment loses at most
 the record whose line was being written: on the next open a truncated final
-shard line is detected and dropped (the cell simply re-runs), and an index
-line is recomputed from the shards when missing.  Malformed data anywhere
+shard line is detected and dropped, and a record whose index line never
+landed is simply not visible (the cell re-runs either way); a wholly
+missing or lost index file is rebuilt by scanning the unindexed shards.
+Malformed data anywhere
 *else* in a shard means real corruption and raises
 :class:`~repro.exceptions.StoreCorruptionError` — :meth:`FileStore.gc`
 salvages what it can and rewrites the store compactly.
@@ -158,6 +160,7 @@ class FileStore(ResultStore):
         self._truncated_dropped = 0
         self._last_read: Dict[str, float] = {}
         self._lastread_dirty = False
+        self._index_seen: Optional[Tuple[int, int]] = None
         self._open(create)
 
     # ------------------------------------------------------------------
@@ -259,16 +262,28 @@ class FileStore(ResultStore):
         except (OSError, json.JSONDecodeError, AttributeError):
             self._last_read = {}
 
+    def _index_fingerprint(self) -> Optional[Tuple[int, int]]:
+        """Cheap change detector for ``index.jsonl``: ``(size, mtime_ns)``."""
+        try:
+            stat = os.stat(self._index_path)
+        except OSError:
+            return None
+        return (stat.st_size, stat.st_mtime_ns)
+
     def _load_index(self) -> None:
-        """Load ``index.jsonl``, falling back to a shard scan when absent.
+        """Load ``index.jsonl``, falling back to a shard scan when needed.
 
         Index entries are advisory: a key pointing at a shard that does not
         actually hold the record (the put was killed between the two appends
         — impossible in the shard-first write order, but cheap to defend
-        against) is dropped lazily by :meth:`get`.  Conversely, shard records
-        missing from the index (killed between shard and index append) are
-        recovered here by scanning any shard whose record count exceeds its
-        index count.
+        against) is dropped lazily by :meth:`get`.  In the other direction
+        only shards the index does not mention *at all* (a deleted or lost
+        index file) are scanned and re-indexed here; a shard the index
+        merely undercounts — the one in-flight record of a put killed
+        between its shard and index appends — is left to re-run, exactly
+        like a truncated tail line.  Opening a store therefore reads **no**
+        shard bytes in the steady state, however large the store; the full
+        reconciliation lives in :meth:`rebuild_index` and :meth:`gc`.
         """
         counts: Dict[str, int] = {}
         if self._index_path.exists():
@@ -288,9 +303,7 @@ class FileStore(ResultStore):
         shard_dir = self.root / _SHARD_DIR
         for path in sorted(shard_dir.glob("*.jsonl")):
             shard = path.stem
-            indexed = counts.get(shard, 0)
-            # Cheap reconciliation: only scan shards the index undercounts.
-            if indexed and indexed == sum(1 for _ in self._iter_shard_lines(shard)):
+            if counts.get(shard, 0):
                 continue
             for key in self._load_shard(shard):
                 if key not in self._index:
@@ -299,6 +312,24 @@ class FileStore(ResultStore):
                         _append_line(
                             self._index_append_handle(), {"key": key, "shard": shard}, self.fsync
                         )
+        self._index_seen = self._index_fingerprint()
+
+    def refresh(self) -> bool:
+        """Make records appended by *other* handles of this store visible.
+
+        Concurrent writer processes append to their own shard namespaces and
+        to the shared index, but an open handle caches the index it loaded —
+        so a long-lived reader (the HTTP result service above a live worker
+        fleet) calls this between requests.  One ``stat`` of ``index.jsonl``
+        when nothing changed; a reload of the index (plus invalidation of
+        the parsed-shard cache, whose files may have grown) when it did.
+        """
+        if self._index_fingerprint() == self._index_seen:
+            return False
+        self._index = {}
+        self._shard_cache = {}
+        self._load_index()
+        return True
 
     def _iter_shard_lines(self, shard: str):
         path = self._shard_path(shard)
@@ -393,6 +424,8 @@ class FileStore(ResultStore):
         if shard in self._shard_cache:
             # Keep the cache coherent; re-parse is wasteful for an append.
             self._shard_cache[shard][key] = record
+        # Our own append is already visible; don't let refresh() reload for it.
+        self._index_seen = self._index_fingerprint()
         self._touch(key)
 
     def put(self, record: RunRecord) -> str:
@@ -577,6 +610,7 @@ class FileStore(ResultStore):
             path.stat().st_size for path in (self.root / _SHARD_DIR).glob("*.jsonl")
         )
         self._index = new_index
+        self._index_seen = self._index_fingerprint()
         self._shard_cache = dict(by_shard)
         self._truncated_dropped = 0
         self._persist_last_read(
@@ -617,6 +651,7 @@ class FileStore(ResultStore):
                 else "",
             )
         self._index = entries
+        self._index_seen = self._index_fingerprint()
         return len(entries)
 
     def stats(self) -> Dict[str, Any]:

@@ -122,3 +122,32 @@ class TestCommands:
         assert code == 0
         assert "outputs correct: True" in captured.out
         assert "leader" in captured.out
+
+
+class TestServeCli:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8642
+        assert args.queue is None and args.unit_size == 4
+
+    def test_serve_end_to_end_over_a_socket(self, tmp_path):
+        """repro serve in a thread: banner, /healthz, clean shutdown."""
+        import threading
+        import urllib.request
+
+        from repro.serve import ResultService, make_server
+        from repro.store import FileStore
+
+        with FileStore(tmp_path / "store") as store:
+            server = make_server(ResultService(store), port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            host, port = server.server_address[:2]
+            try:
+                with urllib.request.urlopen(f"http://{host}:{port}/healthz") as response:
+                    assert json.load(response) == {"ok": True}
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
@@ -292,3 +293,82 @@ class TestCliSurface:
         assert main(["queue", "dispatch", "--sizes", "4", "6", "--seeds", "2",
                      "--queue", str(tmp_path / "q"), "--store", store_dir]) == 0
         assert "2 cells already stored" in capsys.readouterr().out
+
+
+class TestCancellation:
+    def test_cancel_unit_tombstones_pending_work(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.cancel_unit(uid) == "cancelled"
+        assert queue.cancel_unit(uid) == "already_cancelled"
+        status = queue.status()
+        assert status["cancelled"] == 1 and status["done"] == 0
+
+    def test_cancelled_units_are_skipped_by_workers(self, tmp_path):
+        queue = _queue(tmp_path)
+        for uid in queue.units():
+            assert queue.cancel_unit(uid) == "cancelled"
+        totals = Worker(queue, worker_id="w1", lease_ttl=60).run()
+        assert totals["units"] == 0 and totals["executed"] == 0
+
+    def test_finished_unit_reports_already_done(self, tmp_path):
+        queue = _queue(tmp_path)
+        Worker(queue, worker_id="w1", lease_ttl=60).run()
+        for uid in queue.units():
+            assert queue.cancel_unit(uid) == "already_done"
+        status = queue.status()
+        assert status["cancelled"] == 0 and status["done"] == 2
+
+    def test_actively_claimed_unit_is_left_alone(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "w1", ttl=60) is True
+        assert queue.cancel_unit(uid) == "claimed"
+        states = {s["unit"]: s["state"] for s in queue.unit_states()}
+        assert states[uid] == "claimed"
+
+    def test_unit_states_reports_the_full_lifecycle(self, tmp_path):
+        queue = _queue(tmp_path, unit_size=1)
+        uids = queue.units()
+        queue.try_claim(uids[0], "w1", ttl=60)
+        queue.cancel_unit(uids[1])
+        states = {s["unit"]: s for s in queue.unit_states()}
+        assert states[uids[0]]["state"] == "claimed"
+        assert states[uids[0]]["worker"] == "w1"
+        assert states[uids[0]]["lease_remaining"] > 0
+        assert states[uids[1]]["state"] == "cancelled"
+        assert all(s["cells"] == 1 for s in states.values())
+        pending = [s for s in states.values() if s["state"] == "pending"]
+        assert len(pending) == len(uids) - 2
+
+
+class TestQueueStatusJson:
+    def test_json_output_and_drained_flag(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "queue")
+        assert main(["queue", "dispatch", "--sizes", "4", "6", "--seeds", "2",
+                     "--queue", queue_dir, "--unit-size", "2"]) == 0
+        capsys.readouterr()
+
+        assert main(["queue", "status", "--queue", queue_dir, "--json"]) == 1
+        status = json.loads(capsys.readouterr().out)
+        assert status["units"] == 2 and status["pending"] == 2
+        assert status["drained"] is False
+
+        assert main(["worker", "--queue", queue_dir, "--worker-id", "w1",
+                     "--lease-ttl", "60", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["queue", "status", "--queue", queue_dir, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["done"] == 2 and status["drained"] is True
+
+    def test_cancelled_units_count_as_drained(self, tmp_path, capsys):
+        queue = _queue(tmp_path)
+        for uid in queue.units():
+            queue.cancel_unit(uid)
+        queue_dir = str(tmp_path / "queue")
+        assert main(["queue", "status", "--queue", queue_dir, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["cancelled"] == 2 and status["drained"] is True
+        capsys.readouterr()
+        assert main(["queue", "status", "--queue", queue_dir]) == 0
+        assert "2 cancelled" in capsys.readouterr().out

@@ -414,3 +414,104 @@ class TestRecordCanonicalisation:
         ):
             record = run(spec)
             assert RunRecord.from_dict(json.loads(record.to_json())) == record
+
+
+class TestPagination:
+    @pytest.fixture(scope="class")
+    def populated(self):
+        store = MemoryStore()
+        run_sweep(SweepSpec(sizes=(4, 6, 8), seeds=(0, 1), name="p"), store=store)
+        return store
+
+    def test_limit_offset_slice_the_canonical_order(self, populated):
+        everything = [r.spec.key() for r in populated.query()]
+        paged = []
+        for offset in range(0, len(everything), 2):
+            page = populated.query(limit=2, offset=offset)
+            paged.extend(record.spec.key() for record in page)
+        assert paged == everything
+
+    def test_pages_are_stable_across_calls(self, populated):
+        first = [r.spec.key() for r in populated.query(limit=3)]
+        again = [r.spec.key() for r in populated.query(limit=3)]
+        assert first == again and len(first) == 3
+
+    def test_offset_beyond_end_is_empty(self, populated):
+        assert len(populated.query(offset=100)) == 0
+        assert len(populated.query(limit=5, offset=100)) == 0
+
+    def test_limit_composes_with_filters(self, populated):
+        result = populated.query(problem="rendezvous", n_range=(6, 8), limit=2)
+        assert len(result) == 2
+        assert all(6 <= record.graph_size <= 8 for record in result)
+
+    def test_negative_paging_rejected(self, populated):
+        with pytest.raises(ValueError):
+            populated.query(limit=-1)
+        with pytest.raises(ValueError):
+            populated.query(offset=-1)
+
+    def test_filestore_pagination_matches_memory(self, tmp_path):
+        with FileStore(tmp_path / "store") as store:
+            run_sweep(GRID, store=store)
+            assert [r.spec.key() for r in store.query(limit=2, offset=1)] == [
+                r.spec.key() for r in store.query()
+            ][1:3]
+
+
+class TestGenerationAndRefresh:
+    def test_generation_is_deterministic_and_content_addressed(self, tmp_path):
+        with FileStore(tmp_path / "a") as a, FileStore(tmp_path / "b") as b:
+            empty = a.generation()
+            assert empty == b.generation()
+            run_sweep(GRID, store=a)
+            grown = a.generation()
+            assert grown != empty
+            # Same records, different directory / insertion order → same stamp.
+            run_sweep(SweepSpec(sizes=(6, 4), seeds=(1, 0), name="other"), store=b)
+            assert b.generation() == grown
+
+    def test_refresh_sees_a_concurrent_writers_appends(self, tmp_path):
+        with FileStore(tmp_path / "store", writer="w1") as one:
+            two = FileStore(tmp_path / "store", writer="w2")
+            run_sweep(GRID, store=one)
+            assert len(two) == 0  # stale handle: opened before the writes
+            assert two.refresh() is True
+            assert len(two) == len(GRID)
+            assert two.generation() == one.generation()
+            assert two.refresh() is False  # nothing new: a cheap stat no-op
+            two.close()
+
+    def test_own_appends_do_not_dirty_the_fingerprint(self, tmp_path):
+        with FileStore(tmp_path / "store") as store:
+            run_sweep(GRID, store=store)
+            assert store.refresh() is False
+
+    def test_opening_an_indexed_store_reads_no_shard_bytes(self, tmp_path, monkeypatch):
+        with FileStore(tmp_path / "store") as store:
+            run_sweep(GRID, store=store)
+
+        def boom(self, shard):
+            raise AssertionError(f"opened shard {shard} despite an intact index")
+
+        monkeypatch.setattr(FileStore, "_load_shard", boom)
+        with FileStore(tmp_path / "store", create=False) as store:
+            assert len(store) == len(GRID)
+
+    def test_keyed_query_parses_only_the_needed_shards(self, tmp_path):
+        with FileStore(tmp_path / "store") as store:
+            run_sweep(GRID, store=store)
+            target = store.query().records[0].spec.key()
+        with FileStore(tmp_path / "store", create=False) as store:
+            parsed = []
+            original = FileStore._load_shard
+
+            def spy(self, shard):
+                parsed.append(shard)
+                return original(self, shard)
+
+            with pytest.MonkeyPatch.context() as patcher:
+                patcher.setattr(FileStore, "_load_shard", spy)
+                result = store.query(keys=[target])
+            assert len(result) == 1
+            assert parsed == [store._index[target]]
