@@ -70,6 +70,64 @@ def record_bench(name: str, seconds: float, cells: int | None = None) -> None:
     )
 
 
+#: Throughput slowdown factor beyond which the perf gate fails: a bench
+#: whose cells/sec drops below ``best-recorded / 1.5`` is a regression.
+REGRESSION_THRESHOLD = 1.5
+
+
+def check_regression(
+    benches: dict, history: list, *, threshold: float = REGRESSION_THRESHOLD
+) -> list[str]:
+    """Compare one session's bench entries against a stored history.
+
+    For every bench in ``benches`` that carries a ``cells_per_sec``
+    throughput, the baseline is the *best* throughput any ``history`` entry
+    records under the same name (the deterministic choice — the most recent
+    entry would make the gate flap on a single slow session).  A new
+    throughput below ``baseline / threshold`` is a regression.
+
+    Returns a list of human-readable problem strings; an empty list means
+    the gate passes.  Benches without throughput (unsized results) or
+    without any historical baseline are skipped — the gate can only compare
+    what was measured before.
+    """
+    problems: list[str] = []
+    for name in sorted(benches):
+        entry = benches[name]
+        rate = entry.get("cells_per_sec") if isinstance(entry, dict) else None
+        if not rate:
+            continue
+        baseline = 0.0
+        for past in history:
+            old = past.get("benches", {}).get(name, {})
+            old_rate = old.get("cells_per_sec") if isinstance(old, dict) else None
+            if old_rate:
+                baseline = max(baseline, float(old_rate))
+        if baseline <= 0.0:
+            continue
+        if rate < baseline / threshold:
+            problems.append(
+                f"{name}: {rate:.3f} cells/sec is a >{threshold:g}x slowdown "
+                f"against the best recorded {baseline:.3f} cells/sec"
+            )
+    return problems
+
+
+def check_latest_regression(*, threshold: float = REGRESSION_THRESHOLD) -> list[str]:
+    """Gate the most recent ``BENCH_results.json`` session against the rest.
+
+    The newest history entry is the candidate; every earlier entry supplies
+    the baseline.  With fewer than two history entries there is nothing to
+    compare and the gate passes vacuously.
+    """
+    history = _load_results()["history"]
+    if len(history) < 2:
+        return []
+    return check_regression(
+        history[-1].get("benches", {}), history[:-1], threshold=threshold
+    )
+
+
 def _cell_count(result) -> int | None:
     """The number of sweep cells a benchmark result covers, if it is sized."""
     for candidate in (result, getattr(result, "result", None), getattr(result, "records", None)):

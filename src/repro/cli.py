@@ -29,6 +29,12 @@ resumes where it stopped)::
     repro sweep --sizes 4 8 12 --seeds 3 --store .repro-store
     repro sweep --sizes 4 8 12 --seeds 3 --store .repro-store
 
+Profile a run (span table attributing the engine's wall time), or dump
+every metric a command produced (``--format prom`` for Prometheus text)::
+
+    repro run --spec scenario.json --profile
+    repro metrics dump --format prom sweep --sizes 4 8 --seeds 2
+
 Inspect and maintain a store::
 
     repro store ls
@@ -75,6 +81,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -88,6 +95,8 @@ from .analysis.experiment_spec import (
 from .analysis.render import FORMATS
 from .analysis.tables import format_table
 from .exceptions import ReproError
+from .obs.metrics import MetricsRegistry, enable_metrics, set_registry
+from .obs.profile import format_profile
 from .runtime import (
     GRAPH_FAMILIES,
     PROBLEMS,
@@ -193,6 +202,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full RunRecord as JSON instead of a summary",
     )
+    run_cmd.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a RunTrace and attach it to the record's extra bag",
+    )
+    run_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run and print a wall-time profile table (implies --trace)",
+    )
 
     def add_grid(sub: argparse.ArgumentParser) -> None:
         """The sweep-grid flags (shared by ``sweep`` and ``queue dispatch``)."""
@@ -275,6 +294,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    sweep.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach a RunTrace to every executed cell (serial/pool executors only)",
     )
     sweep.add_argument(
         "--store",
@@ -450,6 +474,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution backend for the underlying sweep (default: serial "
         "for --jobs 1, pool otherwise)",
+    )
+
+    metrics_cmd = subparsers.add_parser(
+        "metrics", help="run a repro command instrumented and dump its metrics"
+    )
+    metrics_sub = metrics_cmd.add_subparsers(dest="metrics_command", required=True)
+    metrics_dump = metrics_sub.add_parser(
+        "dump",
+        help="enable the process-global metrics registry, run the given repro "
+        "command, then dump every collected metric",
+    )
+    metrics_dump.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        dest="metrics_format",
+        help="registry rendering: json (default) or Prometheus text format",
+    )
+    metrics_dump.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        metavar="COMMAND",
+        help="repro command line to run instrumented, e.g. "
+        "'repro metrics dump sweep --sizes 4 8'; omit to dump an empty registry",
     )
 
     store_cmd = subparsers.add_parser(
@@ -650,12 +698,15 @@ def _run_teams(args: argparse.Namespace) -> int:
 
 def _run_spec_file(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
-    record = run(spec)
+    record = run(spec, trace=args.trace or args.profile)
     if args.json:
         print(record.to_json())
     else:
         _print_record(record)
         print(f"ok: {record.ok}")
+    if args.profile:
+        print()
+        print(format_profile(record.extra_dict["trace"]))
     return 0 if record.ok else 1
 
 
@@ -697,7 +748,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
         executor = make_executor(args.jobs, kind=args.executor)
     try:
         result = run_sweep(
-            sweep, executor=executor, progress=progress, store=store, resume=args.resume
+            sweep,
+            executor=executor,
+            progress=progress,
+            store=store,
+            resume=args.resume,
+            trace=args.trace,
         )
     finally:
         if store is not None:
@@ -783,6 +839,9 @@ def _run_queue(args: argparse.Namespace) -> int:
             f"cells: executed {status['executed']}/{status['cells']}, "
             f"salvaged {status['salvaged']}, cached {status['cached']}"
         )
+        print(
+            f"leases: {status['steals']} stolen, {status['expired']} expired"
+        )
         return 0 if drained else 1
     return 2  # pragma: no cover (argparse enforces the sub-command)
 
@@ -847,6 +906,37 @@ def _run_experiment(args: argparse.Namespace) -> int:
         if store is not None:
             store.close()
     return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics dump``: instrument a nested repro invocation.
+
+    The process-global registry is enabled *before* the nested command runs,
+    so every instrumentation site (engine, runner, store, queue, worker)
+    records into it; the registry is then rendered after the command's own
+    output.  With no nested command this dumps an (empty) registry — useful
+    to see the exposition format.
+    """
+    rest = list(args.rest)
+    if rest and rest[0] == "--":  # argparse.REMAINDER keeps the separator
+        rest = rest[1:]
+    # A fresh registry per dump (not the idempotent enable_metrics): the dump
+    # reports what *this* command produced, even inside a long-lived process.
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        code = main(rest) if rest else 0
+    finally:
+        set_registry(previous)
+    rendered = (
+        registry.render_prom()
+        if args.metrics_format == "prom"
+        else registry.render_json()
+    )
+    if rest:
+        print()
+    print(rendered, end="" if rendered.endswith("\n") else "\n")
+    return code
 
 
 # ----------------------------------------------------------------------
@@ -956,7 +1046,14 @@ def _run_store(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of the ``repro`` command."""
+    """Entry point of the ``repro`` command.
+
+    ``REPRO_METRICS=1`` in the environment enables the process-global
+    metrics registry for any subcommand (workers spawned by the queue
+    executor inherit it), exactly as ``repro metrics dump`` does explicitly.
+    """
+    if os.environ.get("REPRO_METRICS", "").strip() not in ("", "0"):
+        enable_metrics()
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
@@ -969,6 +1066,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "queue": _run_queue,
         "serve": _run_serve,
         "experiment": _run_experiment,
+        "metrics": _run_metrics,
         "store": _run_store,
     }
     handler = handlers.get(args.command)

@@ -47,6 +47,7 @@ except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
 
 from ..exceptions import QueueError
+from ..obs.metrics import get_registry
 from ..runtime.spec import SPEC_KEY_VERSION, ScenarioSpec, canonical_json
 
 __all__ = ["WorkQueue", "WorkUnit", "unit_id", "QUEUE_FORMAT_VERSION"]
@@ -241,17 +242,25 @@ class WorkQueue:
     def read_claim(self, uid: str) -> Optional[Dict[str, Any]]:
         return _read_json(self.claim_path(uid))
 
-    def _create_claim(self, uid: str, worker: str, ttl: float, now: float) -> bool:
-        payload = json.dumps(
-            {
-                "unit": uid,
-                "worker": worker,
-                "created": now,
-                "expires": now + ttl,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+    def _create_claim(
+        self,
+        uid: str,
+        worker: str,
+        ttl: float,
+        now: float,
+        steals: int = 0,
+        stolen_from: Optional[str] = None,
+    ) -> bool:
+        claim: Dict[str, Any] = {
+            "unit": uid,
+            "worker": worker,
+            "created": now,
+            "expires": now + ttl,
+            "steals": steals,
+        }
+        if stolen_from is not None:
+            claim["stolen_from"] = stolen_from
+        payload = json.dumps(claim, sort_keys=True, separators=(",", ":"))
         try:
             descriptor = os.open(
                 self.claim_path(uid), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
@@ -272,22 +281,49 @@ class WorkQueue:
         already belongs to ``worker`` (a restarted worker reclaims its own
         units without waiting out its previous life's lease; worker ids must
         therefore name at most one live process).
+
+        Claim files carry steal provenance: ``steals`` counts how many times
+        this unit's lease has been taken from an expired holder, and
+        ``stolen_from`` names the most recent victim.  The winner of a steal
+        carries both forward, and workers copy ``steals`` into their done
+        markers, so :meth:`status` can total steals from the files alone.
         """
         now = time.time() if now is None else now
+        claims_total = get_registry().counter(
+            "repro_queue_claims_total", "Unit leases taken, by kind"
+        )
         if self._create_claim(uid, worker, ttl, now):
+            claims_total.inc(kind="fresh")
             return True
         claim = self.read_claim(uid)
         if claim is None:
             # Mid-steal by someone else, or vanished: race the fresh create.
-            return self._create_claim(uid, worker, ttl, now)
+            if self._create_claim(uid, worker, ttl, now):
+                claims_total.inc(kind="fresh")
+                return True
+            return False
         if claim.get("worker") == worker:
             _atomic_write_json(
                 self.claim_path(uid),
-                {"unit": uid, "worker": worker, "created": now, "expires": now + ttl},
+                {
+                    "unit": uid,
+                    "worker": worker,
+                    "created": now,
+                    "expires": now + ttl,
+                    "steals": int(claim.get("steals", 0)),
+                    **(
+                        {"stolen_from": claim["stolen_from"]}
+                        if claim.get("stolen_from")
+                        else {}
+                    ),
+                },
             )
+            claims_total.inc(kind="reclaim")
             return True
         if float(claim.get("expires", 0.0)) > now:
             return False
+        victim: Optional[str] = None
+        prior_steals = 0
         with self._steal_lock():
             claim = self.read_claim(uid)
             if claim is not None:
@@ -296,9 +332,21 @@ class WorkQueue:
                     and float(claim.get("expires", 0.0)) > now
                 ):
                     return False  # renewed while we waited for the lock
+                victim = claim.get("worker")
+                prior_steals = int(claim.get("steals", 0))
                 with contextlib.suppress(FileNotFoundError):
                     os.unlink(self.claim_path(uid))
-        return self._create_claim(uid, worker, ttl, now)
+        if self._create_claim(
+            uid, worker, ttl, now, steals=prior_steals + 1, stolen_from=victim
+        ):
+            registry = get_registry()
+            claims_total.inc(kind="steal")
+            registry.counter(
+                "repro_queue_lease_expiries_total",
+                "Expired leases observed (and stolen) at claim time",
+            ).inc()
+            return True
+        return False
 
     def release_claim(self, uid: str, worker: str) -> None:
         """Drop ``worker``'s lease on ``uid`` (no-op when not the holder)."""
@@ -334,6 +382,7 @@ class WorkQueue:
                 return "already_cancelled" if done.get("cancelled") else "already_done"
             data = _read_json(self.unit_path(uid)) or {}
             keys = list(data.get("keys", ()))
+            claim = self.read_claim(uid) or {}
             self.write_done(
                 uid,
                 {
@@ -345,6 +394,7 @@ class WorkQueue:
                     "cached": 0,
                     "salvaged": 0,
                     "executed": 0,
+                    "steals": int(claim.get("steals", 0)),
                 },
             )
             return "cancelled"
@@ -379,6 +429,8 @@ class WorkQueue:
                 entry["worker"] = done.get("worker")
                 for counter in ("executed", "salvaged", "cached"):
                     entry[counter] = int(done.get(counter, 0))
+                if int(done.get("steals", 0)):
+                    entry["steals"] = int(done["steals"])
             else:
                 claim = self.read_claim(uid)
                 expires = float(claim.get("expires", 0.0)) if claim else 0.0
@@ -386,8 +438,12 @@ class WorkQueue:
                     entry["state"] = "claimed"
                     entry["worker"] = claim.get("worker")
                     entry["lease_remaining"] = round(expires - now, 3)
+                    if int(claim.get("steals", 0)):
+                        entry["steals"] = int(claim["steals"])
                 else:
                     entry["state"] = "pending"
+                    if claim is not None:
+                        entry["lease_expired"] = True
             states.append(entry)
         return states
 
@@ -397,6 +453,11 @@ class WorkQueue:
         ``executed`` sums the done markers' execution counts — over a full
         drain it equals the number of cells that were actually computed, so
         ``executed == cells`` certifies a duplicate-free distributed run.
+
+        ``steals`` totals the lease-steal provenance salvaged from the claim
+        and done files (see :meth:`try_claim`), and ``expired`` counts units
+        whose claim file has outlived its lease without being stolen yet —
+        together the post-hoc evidence of worker deaths during the run.
         """
         now = time.time() if now is None else now
         uids = self.units()
@@ -405,11 +466,14 @@ class WorkQueue:
         executed = salvaged = cached = 0
         claimed_active = 0
         pending = 0
+        steals = 0
+        expired = 0
         for uid in uids:
             data = _read_json(self.unit_path(uid))
             cells += len(data.get("keys", ())) if data else 0
             done = self.read_done(uid)
             if done is not None:
+                steals += int(done.get("steals", 0))
                 if done.get("cancelled"):
                     cancelled_units += 1
                     continue
@@ -419,10 +483,14 @@ class WorkQueue:
                 cached += int(done.get("cached", 0))
                 continue
             claim = self.read_claim(uid)
+            if claim is not None:
+                steals += int(claim.get("steals", 0))
             if claim is not None and float(claim.get("expires", 0.0)) > now:
                 claimed_active += 1
             else:
                 pending += 1
+                if claim is not None:
+                    expired += 1
         return {
             "units": len(uids),
             "cells": cells,
@@ -433,5 +501,7 @@ class WorkQueue:
             "executed": executed,
             "salvaged": salvaged,
             "cached": cached,
+            "steals": steals,
+            "expired": expired,
             "workers": len(self.result_store_dirs()),
         }

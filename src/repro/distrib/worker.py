@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
 from ..exceptions import StoreError
+from ..obs.metrics import get_registry
 from ..runtime.executors import SerialExecutor, run_sweep
 from ..runtime.records import RunRecord
 from ..store.filestore import FileStore
@@ -134,6 +135,7 @@ class Worker:
         — through the ordinary :func:`run_sweep` path, so records are
         persisted cell by cell and byte-identical to a serial run's.
         """
+        started = time.perf_counter()
         cached = sum(1 for key in unit.keys if own.get(key) is not None)
         salvaged = self._salvage(unit, own)
         to_run = [
@@ -142,12 +144,23 @@ class Worker:
             if key not in salvaged and own.get(key) is None
         ]
         result = run_sweep(to_run, executor=SerialExecutor(), store=own)
-        return {
+        counts = {
             "total": len(unit),
             "cached": cached,
             "salvaged": len(salvaged),
             "executed": result.executed,
         }
+        registry = get_registry()
+        registry.histogram(
+            "repro_queue_unit_seconds", "Wall time per processed work unit"
+        ).observe(time.perf_counter() - started)
+        cells = registry.counter(
+            "repro_queue_unit_cells_total", "Unit cells by how they were satisfied"
+        )
+        for status in ("cached", "salvaged", "executed"):
+            if counts[status]:
+                cells.inc(counts[status], status=status)
+        return counts
 
     # ------------------------------------------------------------------
     # the loop
@@ -178,9 +191,18 @@ class Worker:
                         unit = self.queue.load_unit(uid)
                         counts = self.process_unit(unit, own)
                         own.flush()
+                        # Carry the claim's steal provenance into the durable
+                        # done marker (the claim file dies with the release).
+                        claim = self.queue.read_claim(uid) or {}
                         self.queue.write_done(
                             uid,
-                            {"unit": uid, "worker": self.worker_id, "keys": list(unit.keys), **counts},
+                            {
+                                "unit": uid,
+                                "worker": self.worker_id,
+                                "keys": list(unit.keys),
+                                "steals": int(claim.get("steals", 0)),
+                                **counts,
+                            },
                         )
                     finally:
                         self.queue.release_claim(uid, self.worker_id)

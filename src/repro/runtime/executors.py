@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import concurrent.futures
 import inspect
+import time
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
 
 from ..exceptions import ReproError
 from ..exploration.cost_model import CostModel
+from ..obs.metrics import get_registry
 from .records import RunRecord, SweepResult
 from .runner import run
 from .spec import ScenarioSpec, SweepSpec
@@ -83,13 +85,19 @@ def _progress_notifier(
 
 
 class Executor:
-    """Strategy interface: execute specs, return records in spec order."""
+    """Strategy interface: execute specs, return records in spec order.
+
+    ``trace=True`` asks for each cell to run under a tracer, so every
+    returned record carries ``extra["trace"]`` (see :func:`repro.runtime
+    .runner.run`).
+    """
 
     def map_specs(
         self,
         specs: List[ScenarioSpec],
         model: Optional[CostModel] = None,
         progress: Optional[ProgressCallback] = None,
+        trace: bool = False,
     ) -> List[RunRecord]:
         raise NotImplementedError
 
@@ -102,11 +110,17 @@ class SerialExecutor(Executor):
         specs: List[ScenarioSpec],
         model: Optional[CostModel] = None,
         progress: Optional[ProgressCallback] = None,
+        trace: bool = False,
     ) -> List[RunRecord]:
+        cell_seconds = get_registry().histogram(
+            "repro_cell_seconds", "Wall time per sweep cell"
+        )
         records: List[RunRecord] = []
         total = len(specs)
         for index, spec in enumerate(specs):
-            record = run(spec, model=model)
+            started = time.perf_counter()
+            record = run(spec, model=model, trace=trace)
+            cell_seconds.observe(time.perf_counter() - started, executor="serial")
             records.append(record)
             if progress is not None:
                 progress(index + 1, total, record)
@@ -115,8 +129,8 @@ class SerialExecutor(Executor):
 
 def _run_cell(payload):
     """Top-level worker entry point (must be picklable)."""
-    spec, model = payload
-    return run(spec, model=model)
+    spec, model, trace = payload
+    return run(spec, model=model, trace=trace)
 
 
 class ProcessPoolExecutor(Executor):
@@ -136,22 +150,29 @@ class ProcessPoolExecutor(Executor):
         specs: List[ScenarioSpec],
         model: Optional[CostModel] = None,
         progress: Optional[ProgressCallback] = None,
+        trace: bool = False,
     ) -> List[RunRecord]:
         total = len(specs)
         if total == 0:
             return []
+        # Completion latency as seen from the parent: queueing + execution.
+        cell_seconds = get_registry().histogram(
+            "repro_cell_seconds", "Wall time per sweep cell"
+        )
         records: List[Optional[RunRecord]] = [None] * total
         done = 0
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.max_workers
         ) as pool:
+            submitted = time.perf_counter()
             futures = {
-                pool.submit(_run_cell, (spec, model)): index
+                pool.submit(_run_cell, (spec, model, trace)): index
                 for index, spec in enumerate(specs)
             }
             for future in concurrent.futures.as_completed(futures):
                 index = futures[future]
                 record = future.result()
+                cell_seconds.observe(time.perf_counter() - submitted, executor="pool")
                 records[index] = record
                 done += 1
                 if progress is not None:
@@ -197,6 +218,7 @@ def run_sweep(
     progress: Optional[ProgressCallback] = None,
     store: Optional["ResultStore"] = None,
     resume: bool = True,
+    trace: bool = False,
 ) -> SweepResult:
     """Execute every cell of ``sweep`` and collect a :class:`SweepResult`.
 
@@ -215,6 +237,9 @@ def run_sweep(
     result's table is byte-identical whether cells were computed or served.
     ``resume=False`` re-executes everything but still persists (existing
     keys are left untouched — cells are deterministic in their spec).
+
+    ``trace=True`` executes every *fresh* cell under a tracer (cached cells
+    are served as stored; the trace is not part of the cell's identity).
     """
     if isinstance(sweep, SweepSpec):
         specs = list(sweep.cells())
@@ -224,13 +249,17 @@ def run_sweep(
         sweep_spec = None
     executor = executor if executor is not None else SerialExecutor()
     notify = _progress_notifier(progress)
+    cells_total = get_registry().counter(
+        "repro_sweep_cells_total", "Sweep cells by outcome (cached vs executed)"
+    )
     if store is None:
         plain = (
             None
             if notify is None
             else lambda done, total, record: notify(done, total, record, False)
         )
-        records = executor.map_specs(specs, model=model, progress=plain)
+        records = executor.map_specs(specs, model=model, progress=plain, trace=trace)
+        cells_total.inc(len(records), status="executed")
         return SweepResult(records=records, sweep=sweep_spec)
 
     total = len(specs)
@@ -258,11 +287,13 @@ def run_sweep(
             notify(progress_state["done"], total, record, False)
 
     fresh = executor.map_specs(
-        [spec for _index, spec in pending], model=model, progress=on_fresh
+        [spec for _index, spec in pending], model=model, progress=on_fresh, trace=trace
     )
     for (index, _spec), record in zip(pending, fresh):
         slots[index] = record
     store.flush()
+    cells_total.inc(hits, status="cached")
+    cells_total.inc(len(fresh), status="executed")
     return SweepResult(
         records=[record for record in slots if record is not None],
         sweep=sweep_spec,

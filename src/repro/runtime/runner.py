@@ -22,6 +22,8 @@ migrated drivers reproduce the historical tables bit for bit):
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from fractions import Fraction
 from typing import Any, Optional
 
@@ -33,6 +35,8 @@ from ..exploration.cost_model import CostModel
 from ..exploration.esst import run_esst
 from ..graphs import families as _families  # noqa: F401  (registers the families)
 from ..graphs.port_graph import PortLabeledGraph, edge_key
+from ..obs.metrics import get_registry
+from ..obs.trace import Tracer, use_tracer
 from ..sim import schedulers as _schedulers  # noqa: F401  (registers the adversaries)
 from ..sim.position import Position
 from ..sim.schedulers import Scheduler
@@ -64,14 +68,50 @@ def build_cost_model(spec: ScenarioSpec) -> CostModel:
     return COST_MODELS.create(spec.cost_model)
 
 
-def run(spec: ScenarioSpec, model: Optional[CostModel] = None) -> RunRecord:
+def run(
+    spec: ScenarioSpec,
+    model: Optional[CostModel] = None,
+    *,
+    trace: bool = False,
+) -> RunRecord:
     """Execute one scenario and return its :class:`RunRecord`.
 
     ``model`` optionally overrides the spec's named cost model with a live
     instance — used by the experiment drivers, which accept model objects.
     Sweeps shipped to worker processes rely on the spec alone.
+
+    ``trace=True`` runs the scenario under a :class:`~repro.obs.trace.Tracer`
+    and attaches the summarised payload as ``extra["trace"]`` on the returned
+    record.  The trace is *not* part of the spec, so a traced record carries
+    the same ``spec_key`` as — and caches interchangeably with — an untraced
+    one; ``trace=False`` (the default) takes exactly the historical code path
+    and produces byte-identical records.
     """
     spec.validate()
+    started = time.perf_counter()
+    if not trace:
+        record = _execute(spec, model)
+    else:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            t0 = tracer.clock()
+            record = _execute(spec, model)
+            tracer.add_span("run", t0)
+        payload = tracer.finish().to_dict()
+        record = dataclasses.replace(
+            record, extra=record.extra + (("trace", payload),)
+        )
+    registry = get_registry()
+    registry.counter(
+        "repro_runs_total", "Scenarios executed by the runner"
+    ).inc(problem=spec.problem)
+    registry.histogram(
+        "repro_run_seconds", "Wall time per scenario run"
+    ).observe(time.perf_counter() - started, problem=spec.problem)
+    return record
+
+
+def _execute(spec: ScenarioSpec, model: Optional[CostModel]) -> RunRecord:
     graph = build_graph(spec)
     model = model if model is not None else build_cost_model(spec)
     return PROBLEMS.create(spec.problem, spec, graph, model)

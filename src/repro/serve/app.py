@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
@@ -51,6 +52,7 @@ from ..analysis.render import FORMATS
 from ..distrib.dispatcher import DEFAULT_UNIT_SIZE
 from ..distrib.queue import WorkQueue
 from ..exceptions import QueueError, ReproError
+from ..obs.metrics import MetricsRegistry
 from ..runtime.records import RunRecord
 from ..runtime.spec import SweepSpec
 from ..store.base import ResultStore
@@ -162,18 +164,33 @@ class ResultService:
         self._render_cache: "OrderedDict[Tuple[str, str, str], Tuple[Response, str]]" = (
             OrderedDict()
         )
-        self.metrics: Dict[str, Any] = {
-            "requests_total": 0,
-            "requests": {},
-            "errors": 0,
-            "etag_not_modified": 0,
-            "render_cache_hits": 0,
-            "render_cache_misses": 0,
-            "renders": 0,
-            "experiment_executions": 0,
-            "sweeps_dispatched": 0,
-            "sweeps_cancelled": 0,
-        }
+        # Per-instance registry: each service owns its counters (tests build
+        # many fresh services; a process-global registry would smear them).
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "serve_http_requests_total", "HTTP requests answered, by route"
+        )
+        self._request_seconds = self.registry.histogram(
+            "serve_http_request_seconds", "Request handling wall time, by route"
+        )
+        self._errors = self.registry.counter(
+            "serve_http_errors_total", "Requests answered with an error body"
+        )
+        self._etag_not_modified = self.registry.counter(
+            "serve_etag_not_modified_total", "Conditional requests answered 304"
+        )
+        self._render_cache_ops = self.registry.counter(
+            "serve_render_cache_total", "Rendered-bytes cache lookups, by outcome"
+        )
+        self._renders = self.registry.counter(
+            "serve_renders_total", "Experiment tables rendered"
+        )
+        self._experiment_executions = self.registry.counter(
+            "serve_experiment_executions_total", "Sweep cells executed by cold GETs"
+        )
+        self._sweeps = self.registry.counter(
+            "serve_sweeps_total", "Sweep write-path operations, by action"
+        )
 
     # ------------------------------------------------------------------
     # entry point
@@ -192,21 +209,23 @@ class ResultService:
         params = params or {}
         headers = {key.lower(): value for key, value in (headers or {}).items()}
         with self._lock:
-            self.metrics["requests_total"] += 1
+            started = time.perf_counter()
             try:
                 route, response = self._route(method, path, params, headers, body)
             except _HTTPError as error:
                 route, response = "error", _json_response(
                     {"error": str(error)}, status=error.status
                 )
-                self.metrics["errors"] += 1
+                self._errors.inc()
             except ReproError as error:
                 route, response = "error", _json_response(
                     {"error": str(error)}, status=400
                 )
-                self.metrics["errors"] += 1
-            by_route = self.metrics["requests"]
-            by_route[route] = by_route.get(route, 0) + 1
+                self._errors.inc()
+            # Counted after routing, so a served ``/metrics`` body reflects
+            # every *prior* request per route — the historical semantics.
+            self._requests.inc(route=route)
+            self._request_seconds.observe(time.perf_counter() - started, route=route)
             return response
 
     def _route(
@@ -226,7 +245,7 @@ class ResultService:
             return "healthz", _json_response({"ok": True})
         if head == "metrics" and not rest:
             self._need(method, "GET")
-            return "metrics", self._metrics()
+            return "metrics", self._metrics(params)
         if head == "experiments":
             self._need(method, "GET")
             if not rest:
@@ -262,7 +281,10 @@ class ResultService:
                 "service": "repro serve",
                 "endpoints": {
                     "GET /healthz": "liveness probe",
-                    "GET /metrics": "request / cache / execution counters",
+                    "GET /metrics": (
+                        "request / cache / execution counters "
+                        "(?format=prom for Prometheus text format)"
+                    ),
                     "GET /experiments": "registered experiments",
                     "GET /experiments/<name>?format=markdown|csv|json": (
                         "rendered experiment table (ETag: experiment key + store generation)"
@@ -280,11 +302,54 @@ class ResultService:
             }
         )
 
-    def _metrics(self) -> Response:
-        payload = dict(self.metrics)
-        payload["store_records"] = len(self.store)
-        payload["render_cache_entries"] = len(self._render_cache)
-        payload["sweeps_in_flight"] = 0 if self.jobs is None else self.jobs.in_flight()
+    def _metrics(self, params: Optional[Dict[str, str]] = None) -> Response:
+        """The metrics endpoint: legacy JSON by default, Prometheus on demand.
+
+        ``?format=prom`` renders the per-service registry in the Prometheus
+        text exposition format.  The JSON shape (and its counting semantics —
+        ``requests_total`` includes the request being served, the per-route
+        map does not) is unchanged from the pre-registry implementation.
+        """
+        format = (params or {}).get("format", "json")
+        self.registry.gauge("serve_store_records", "Records in the serving store").set(
+            len(self.store)
+        )
+        self.registry.gauge(
+            "serve_render_cache_entries", "Rendered-bytes cache entries"
+        ).set(len(self._render_cache))
+        self.registry.gauge(
+            "serve_sweeps_in_flight", "Dispatched sweep jobs not yet drained"
+        ).set(0 if self.jobs is None else self.jobs.in_flight())
+        if format == "prom":
+            return Response(
+                200,
+                {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                self.registry.render_prom().encode("utf-8"),
+            )
+        if format != "json":
+            raise _HTTPError(400, f"unknown metrics format {format!r}: use json or prom")
+        per_route = {
+            dict(labels).get("route", ""): int(value)
+            for labels, value in self._requests.samples()
+        }
+        payload = {
+            # The in-flight request (this one) was counted at entry by the
+            # dict implementation; the registry counts after routing, so the
+            # served total adds it back.
+            "requests_total": sum(per_route.values()) + 1,
+            "requests": per_route,
+            "errors": int(self._errors.value()),
+            "etag_not_modified": int(self._etag_not_modified.value()),
+            "render_cache_hits": int(self._render_cache_ops.value(outcome="hit")),
+            "render_cache_misses": int(self._render_cache_ops.value(outcome="miss")),
+            "renders": int(self._renders.value()),
+            "experiment_executions": int(self._experiment_executions.value()),
+            "sweeps_dispatched": int(self._sweeps.value(action="dispatched")),
+            "sweeps_cancelled": int(self._sweeps.value(action="cancelled")),
+            "store_records": len(self.store),
+            "render_cache_entries": len(self._render_cache),
+            "sweeps_in_flight": 0 if self.jobs is None else self.jobs.in_flight(),
+        }
         return _json_response(payload)
 
     def _list_experiments(self) -> Response:
@@ -322,15 +387,15 @@ class ResultService:
         if if_none_match and (etag in if_none_match or if_none_match.strip() == "*"):
             # The warm-hit fast path: two hashes decided nothing changed —
             # zero record reads, zero renders, zero executions.
-            self.metrics["etag_not_modified"] += 1
+            self._etag_not_modified.inc()
             return Response(304, {"ETag": etag}, b"")
         cache_key = (name, format, etag)
         cached = self._render_cache.get(cache_key)
         if cached is not None:
-            self.metrics["render_cache_hits"] += 1
+            self._render_cache_ops.inc(outcome="hit")
             self._render_cache.move_to_end(cache_key)
             return cached[0]
-        self.metrics["render_cache_misses"] += 1
+        self._render_cache_ops.inc(outcome="miss")
         try:
             result = aggregate_from_store(spec, self.store)
         except ReproError:
@@ -338,10 +403,10 @@ class ResultService:
             # ordinary experiment pipeline (persisting as they complete),
             # then restamp the ETag — the store generation just moved.
             result = run_experiment(spec, store=self.store)
-            self.metrics["experiment_executions"] += result.executed
+            self._experiment_executions.inc(result.executed)
             etag = self._etag(spec)
             cache_key = (name, format, etag)
-        self.metrics["renders"] += 1
+        self._renders.inc()
         body = (result.render(format) + "\n").encode("utf-8")
         base_headers = {
             "Content-Type": _CONTENT_TYPES[format],
@@ -437,7 +502,7 @@ class ResultService:
             )
         except (ReproError, TypeError, ValueError) as error:
             raise _HTTPError(400, f"undispatchable sweep: {error}")
-        self.metrics["sweeps_dispatched"] += 1
+        self._sweeps.inc(action="dispatched")
         jid = job["job"]
         return _json_response(
             {
@@ -462,7 +527,7 @@ class ResultService:
             report = jobs.cancel(jid)
         except QueueError as error:
             raise _HTTPError(404, str(error))
-        self.metrics["sweeps_cancelled"] += 1
+        self._sweeps.inc(action="cancelled")
         return _json_response(report)
 
 

@@ -31,6 +31,7 @@ from ..exceptions import (
     SimulationError,
 )
 from ..graphs.port_graph import EdgeKey, PortLabeledGraph, edge_key
+from ..obs.trace import current_tracer
 from .actions import AgentSnapshot, MeetingEvent, Move, Observation, Stop
 from .agent import AgentController
 from .position import ONE as _ONE
@@ -255,6 +256,9 @@ class AsyncEngine:
             if unknown:
                 raise SimulationError(f"unknown rendezvous agents: {sorted(unknown)}")
 
+        # The ambient tracer is captured once at construction: a scenario is
+        # built and run on one thread inside the runner's ``use_tracer`` scope.
+        self._tracer = current_tracer()
         self.total_traversals = 0
         self._decisions = 0
         self._meetings: List[MeetingEvent] = []
@@ -279,6 +283,8 @@ class AsyncEngine:
 
     def run(self) -> RunResult:
         """Run the simulation to completion and return the result."""
+        if self._tracer is not None:
+            return self._run_traced(self._tracer)
         self._bootstrap()
         while not self._done:
             self._check_passive_termination()
@@ -296,6 +302,45 @@ class AsyncEngine:
                 break
             self._apply(decision)
         return self._build_result()
+
+    def _run_traced(self, tracer) -> RunResult:
+        # Mirror of the loop above with span boundaries around the three
+        # phases of every iteration.  Kept separate so the untraced path pays
+        # nothing — not even a ``clock()`` call — per decision.
+        clock = tracer.clock
+        run_started = clock()
+        try:
+            t0 = clock()
+            self._bootstrap()
+            tracer.add_span("engine.bootstrap", t0)
+            while not self._done:
+                t0 = clock()
+                self._check_passive_termination()
+                tracer.add_span("engine.check_termination", t0)
+                if self._done:
+                    break
+                if self._decisions >= self._max_decisions:
+                    raise SimulationError(
+                        f"scheduler exceeded the decision budget "
+                        f"({self._max_decisions}); it is probably making "
+                        "unbounded zero-progress decisions"
+                    )
+                t0 = clock()
+                decision = self._scheduler.decide(self._view)
+                tracer.add_span("scheduler.decide", t0)
+                self._decisions += 1
+                if decision is None:
+                    self._finish(StopReason.SCHEDULER_EXHAUSTED)
+                    break
+                t0 = clock()
+                self._apply(decision)
+                tracer.add_span("engine.apply", t0)
+            return self._build_result()
+        finally:
+            tracer.add_span("engine.run", run_started)
+            tracer.count("engine.decisions", self._decisions)
+            tracer.count("engine.traversals", self.total_traversals)
+            tracer.count("engine.meetings", len(self._meetings))
 
     # ------------------------------------------------------------------
     # bootstrapping
@@ -321,8 +366,12 @@ class AsyncEngine:
     # ------------------------------------------------------------------
     def _apply(self, decision: Decision) -> None:
         if isinstance(decision, Wake):
+            if self._tracer is not None:
+                self._tracer.count("engine.wake_decisions")
             self._apply_wake(decision)
         elif isinstance(decision, Advance):
+            if self._tracer is not None:
+                self._tracer.count("engine.advance_decisions")
             self._apply_advance(decision)
         else:
             raise SchedulerError(f"unknown decision type: {decision!r}")
@@ -380,6 +429,13 @@ class AsyncEngine:
         end: Fraction,
     ) -> None:
         """Detect and process every coincidence produced by the advance."""
+        if self._tracer is not None:
+            # One ``fraction_on`` evaluation per co-agent is the Fraction-op
+            # proxy this trace reports; the comparisons it feeds are O(1) more.
+            scanned = len(self._agents) - 1
+            self._tracer.count("engine.sweep_calls")
+            self._tracer.count("engine.sweep_agents_scanned", scanned)
+            self._tracer.count("engine.fraction_ops", scanned)
         encountered: List[Tuple[Fraction, str]] = []
         edge = pending.edge
         forward = pending.from_node == edge[0]
@@ -424,6 +480,11 @@ class AsyncEngine:
         state = self._agent(name)
         if state.pending is None:
             return None
+        if self._tracer is not None:
+            scanned = len(self._agents) - 1
+            self._tracer.count("engine.msa_calls")
+            self._tracer.count("engine.msa_agents_scanned", scanned)
+            self._tracer.count("engine.fraction_ops", scanned)
         pending = state.pending
         current = pending.progress
         nearest: Optional[Fraction] = None
@@ -470,6 +531,15 @@ class AsyncEngine:
             total_traversals=self.total_traversals,
         )
         self._meetings.append(event)
+        if self._tracer is not None:
+            self._tracer.event(
+                "meeting",
+                participants=participants,
+                node=position.node,
+                edge=list(position.edge) if position.edge is not None else None,
+                decision=self._decisions,
+                total_traversals=self.total_traversals,
+            )
         for state in woken:
             self._wake(state, start_program=False)
         for name in participants:

@@ -59,6 +59,7 @@ except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
 
 from ..exceptions import StoreCorruptionError, StoreError
+from ..obs.metrics import get_registry
 from ..runtime.records import RunRecord
 from ..runtime.spec import SPEC_KEY_VERSION
 from .base import KeyLike, ResultStore
@@ -81,11 +82,13 @@ _SHARD_DIR = "shards"
 _WRITER_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
 
 
-def _append_line(handle: IO[str], payload: Dict[str, Any], fsync: bool) -> None:
-    handle.write(json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n")
+def _append_line(handle: IO[str], payload: Dict[str, Any], fsync: bool) -> int:
+    line = json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    handle.write(line)
     handle.flush()
     if fsync:
         os.fsync(handle.fileno())
+    return len(line.encode("utf-8"))
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -324,11 +327,16 @@ class FileStore(ResultStore):
         when nothing changed; a reload of the index (plus invalidation of
         the parsed-shard cache, whose files may have grown) when it did.
         """
+        refreshes = get_registry().counter(
+            "repro_store_index_refreshes_total", "refresh() calls by outcome"
+        )
         if self._index_fingerprint() == self._index_seen:
+            refreshes.inc(changed="false")
             return False
         self._index = {}
         self._shard_cache = {}
         self._load_index()
+        refreshes.inc(changed="true")
         return True
 
     def _iter_shard_lines(self, shard: str):
@@ -411,15 +419,22 @@ class FileStore(ResultStore):
 
     def _append_record(self, key: str, record: RunRecord) -> None:
         shard = self._shard_for(key)
-        _append_line(
+        nbytes = _append_line(
             self._shard_append_handle(shard),
             {"key": key, "record": record.to_dict()},
             self.fsync,
         )
         with self._locked():
-            _append_line(
+            nbytes += _append_line(
                 self._index_append_handle(), {"key": key, "shard": shard}, self.fsync
             )
+        registry = get_registry()
+        registry.counter(
+            "repro_store_appends_total", "Records appended to the file store"
+        ).inc()
+        registry.counter(
+            "repro_store_bytes_written_total", "Shard and index bytes appended"
+        ).inc(nbytes)
         self._index[key] = shard
         if shard in self._shard_cache:
             # Keep the cache coherent; re-parse is wasteful for an append.

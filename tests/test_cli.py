@@ -124,6 +124,72 @@ class TestCommands:
         assert "leader" in captured.out
 
 
+class TestObservabilityCli:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            json.dumps(
+                {"problem": "rendezvous", "family": "ring", "size": 4, "seed": 0}
+            ),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_run_profile_prints_the_span_table(self, spec_file, capsys):
+        assert main(["run", "--spec", spec_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "% of run" in out and "engine.run" in out
+        assert "engine coverage:" in out and "counters:" in out
+
+    def test_run_trace_attaches_the_payload_to_the_json(self, spec_file, capsys):
+        assert main(["run", "--spec", spec_file, "--trace", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        trace = record["extra"]["trace"]
+        assert trace["schema"] == 1 and "engine.run" in trace["spans"]
+
+    def test_run_without_trace_has_no_trace_key(self, spec_file, capsys):
+        assert main(["run", "--spec", spec_file, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert "trace" not in record["extra"]
+
+    def test_metrics_dump_wraps_a_sweep(self, capsys):
+        assert main(["metrics", "dump", "sweep", "--sizes", "4", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("\n{") :])
+        assert payload["repro_runs_total"] == {"problem=rendezvous": 1}
+        assert payload["repro_sweep_cells_total"]["status=executed"] == 1
+
+    def test_metrics_dump_prom_format(self, capsys):
+        assert main(["metrics", "dump", "--format", "prom", "rendezvous", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_runs_total counter" in out
+        assert 'repro_runs_total{problem="rendezvous"} 1' in out
+
+    def test_metrics_dump_without_a_command_dumps_an_empty_registry(self, capsys):
+        assert main(["metrics", "dump"]) == 0
+        assert json.loads(capsys.readouterr().out) == {}
+
+    def test_sweep_trace_attaches_traces_to_stored_records(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert (
+            main(["sweep", "--sizes", "4", "--quiet", "--trace", "--store", store_dir])
+            == 0
+        )
+        from repro.store import FileStore
+
+        with FileStore(store_dir, create=False) as store:
+            records = [store.get(key) for key in store.keys()]
+        assert records and all("trace" in r.extra_dict for r in records)
+
+    def test_queue_executor_rejects_trace(self, capsys):
+        code = main(
+            ["sweep", "--sizes", "4", "--quiet", "--trace", "--executor", "queue"]
+        )
+        assert code == 2
+        assert "cannot trace" in capsys.readouterr().err
+
+
 class TestServeCli:
     def test_serve_parser_defaults(self):
         args = build_parser().parse_args(["serve"])

@@ -177,6 +177,68 @@ class TestWorker:
         assert status["units"] == status["done"] == 2
         assert status["cells"] == status["executed"] == 4
         assert status["salvaged"] == status["cached"] == 0
+        assert status["steals"] == status["expired"] == 0
+
+
+class TestLeaseObservability:
+    """Steal/expiry provenance salvaged from claim and done files alone."""
+
+    def test_expired_then_stolen_lease_is_counted(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "dead", ttl=-1)
+        # Expired but not yet stolen: the stale claim file is the evidence.
+        status = queue.status()
+        assert status["expired"] == 1 and status["steals"] == 0
+        states = {entry["unit"]: entry for entry in queue.unit_states()}
+        assert states[uid]["state"] == "pending"
+        assert states[uid]["lease_expired"] is True
+
+        assert queue.try_claim(uid, "w2", ttl=60)  # the steal
+        claim = queue.read_claim(uid)
+        assert claim["steals"] == 1 and claim["stolen_from"] == "dead"
+        status = queue.status()
+        assert status["steals"] == 1 and status["expired"] == 0
+        states = {entry["unit"]: entry for entry in queue.unit_states()}
+        assert states[uid]["state"] == "claimed" and states[uid]["steals"] == 1
+
+    def test_steal_count_survives_into_the_done_marker(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "dead", ttl=-1)
+        Worker(queue, worker_id="w2", lease_ttl=60, poll=0.05).run()
+        # The claim file is gone with the release; the done marker carries
+        # the provenance, so status() totals it from durable files alone.
+        assert queue.read_claim(uid) is None
+        assert queue.read_done(uid)["steals"] == 1
+        status = queue.status()
+        assert status["done"] == 2 and status["steals"] == 1
+        assert status["expired"] == 0
+        states = {entry["unit"]: entry for entry in queue.unit_states()}
+        assert states[uid]["steals"] == 1
+
+    def test_reclaim_preserves_accumulated_steals(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "dead", ttl=-1)
+        assert queue.try_claim(uid, "w2", ttl=-1)  # steal #1, also expired
+        assert queue.try_claim(uid, "w2", ttl=60)  # own reclaim: not a steal
+        claim = queue.read_claim(uid)
+        assert claim["steals"] == 1 and claim["stolen_from"] == "dead"
+        # w2's reclaim installed a live 60s lease, so w3 cannot win it.
+        assert not queue.try_claim(uid, "w3", ttl=60)
+
+    def test_cli_status_prints_lease_counters(self, tmp_path, capsys):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "dead", ttl=-1)
+        Worker(queue, worker_id="w2", lease_ttl=60, poll=0.05).run()
+        assert main(["queue", "status", "--queue", str(queue.root)]) == 0
+        out = capsys.readouterr().out
+        assert "leases: 1 stolen, 0 expired" in out
+        assert main(["queue", "status", "--queue", str(queue.root), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["steals"] == 1 and status["expired"] == 0
 
 
 class TestQueueExecutor:
