@@ -46,6 +46,7 @@ from .fitting import FitResult, classify_growth, fit_exponential, fit_power_law
 from .render import FORMATS, TableData, render
 from .tables import format_records, format_table
 from . import experiments
+from ..ticksim import experiments as _tick_experiments  # noqa: F401  (registers T1-T3)
 
 __all__ = [
     "REDUCERS",

@@ -66,6 +66,15 @@ Run Algorithm SGL (and hence the four team problems) for 3 agents::
 
     repro teams --family ring --size 6 --team-size 3
 
+Run a tick-asynchronous scenario (leader election, gossip, gathering) under
+an interleaving model with crash/message faults, or sweep one over a grid
+of fault configurations::
+
+    repro tick --problem tick_leader --size 8 --interleaving random
+    repro tick --problem tick_gathering --fault-rate 0.25 --crash-window 20
+    repro sweep --problem tick_leader --sizes 4 6 --seeds 5 \
+        --problem-params '{"interleaving": "random", "fault_rate": 0.25}'
+
 Regenerate experiment tables (spec-driven: every table is a registered
 :class:`~repro.analysis.experiment_spec.ExperimentSpec`; with ``--store``
 a warm invocation re-renders without executing a single scenario)::
@@ -99,6 +108,7 @@ from .obs.metrics import MetricsRegistry, enable_metrics, set_registry
 from .obs.profile import format_profile
 from .runtime import (
     GRAPH_FAMILIES,
+    INTERLEAVERS,
     PROBLEMS,
     SCHEDULERS,
     RunRecord,
@@ -191,6 +201,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="adversary strategy (default: round_robin)",
     )
 
+    tick = subparsers.add_parser(
+        "tick",
+        help="run one tick-asynchronous scenario (leader election, gossip, gathering)",
+    )
+    tick.add_argument(
+        "--problem",
+        default="tick_leader",
+        choices=sorted(name for name in PROBLEMS if name.startswith("tick_")),
+        help="tick problem kind (default: tick_leader)",
+    )
+    tick.add_argument(
+        "--family",
+        default="ring",
+        choices=sorted(GRAPH_FAMILIES),
+        help="graph family (default: ring)",
+    )
+    tick.add_argument("--size", type=int, default=6, help="graph size (default: 6)")
+    tick.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    tick.add_argument(
+        "--interleaving",
+        default="synchronous",
+        choices=sorted(INTERLEAVERS),
+        help="tick interleaving model (default: synchronous)",
+    )
+    tick.add_argument(
+        "--patience",
+        type=int,
+        default=None,
+        help="starvation window for --interleaving lag (ticks a victim is held back)",
+    )
+    tick.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-agent crash probability (default: 0.0)",
+    )
+    tick.add_argument(
+        "--crash-window",
+        type=int,
+        default=None,
+        help="crash ticks are drawn from [1, WINDOW] (default: --max-ticks)",
+    )
+    tick.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="per-message drop probability (default: 0.0)",
+    )
+    tick.add_argument(
+        "--max-ticks",
+        type=int,
+        default=1000,
+        help="tick budget before the run stops (default: 1000)",
+    )
+    tick.add_argument(
+        "--team-size",
+        type=int,
+        default=None,
+        help="number of agents for tick_gathering (default: 3)",
+    )
+    tick.add_argument(
+        "--no-ticks",
+        action="store_true",
+        help="skip the per-tick DataCollector payload (extra['ticks'])",
+    )
+    tick.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full RunRecord as JSON instead of a summary",
+    )
+    tick.add_argument(
+        "--dump-spec",
+        metavar="FILE",
+        default=None,
+        help="write the scenario spec as JSON to FILE instead of running it",
+    )
+
     run_cmd = subparsers.add_parser(
         "run", help="run one scenario described by a JSON ScenarioSpec file"
     )
@@ -258,6 +345,16 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=2_000_000,
             help="per-cell edge-traversal budget (default: 2,000,000)",
+        )
+        sub.add_argument(
+            "--problem-params",
+            nargs="+",
+            default=None,
+            metavar="JSON",
+            help="problem-parameter sets as JSON objects, one grid dimension "
+            "entry each, e.g. "
+            "'{\"interleaving\": \"random\", \"fault_rate\": 0.25}' "
+            "(default: a single empty set)",
         )
 
     sweep = subparsers.add_parser(
@@ -515,7 +612,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     store_ls = store_sub.add_parser("ls", help="list the stored run records")
     add_store_dir(store_ls)
-    store_ls.add_argument("--problem", default=None, help="filter by problem kind")
+    store_ls.add_argument(
+        "--problem",
+        default=None,
+        help="filter by problem kind (prefix match, e.g. 'tick' selects all tick_* kinds)",
+    )
     store_ls.add_argument("--family", default=None, help="filter by graph family")
     store_ls.add_argument("--scheduler", default=None, help="filter by adversary name")
     store_ls.add_argument(
@@ -632,11 +733,57 @@ def _print_teams(record: RunRecord) -> None:
         print(f"perfect renaming: {renaming}")
 
 
+def _print_tick(record: RunRecord) -> None:
+    extra = record.extra_dict
+    _print_graph_line(record)
+    print(
+        f"interleaving: {extra['interleaving']}; "
+        f"fault_rate={extra['fault_rate']} drop_rate={extra['drop_rate']}"
+    )
+    print(
+        f"stopped: {record.reason} after {record.cost} ticks "
+        f"({record.decisions} activations)"
+    )
+    crashed = list(extra.get("crashed", ()))
+    if crashed:
+        print(f"crashed agents: {crashed}")
+    print(
+        f"messages: {extra['messages_sent']} sent, "
+        f"{extra['messages_dropped']} dropped; moves: {extra['moves']}"
+    )
+    if record.problem == "tick_leader":
+        leader = extra["leader"] if extra["leader"] is not None else "(none)"
+        print(
+            f"consensus: {extra['consensus']} "
+            f"(leaders: {extra['leaders']}, agreed: {extra['agreed']}, "
+            f"leader label: {leader})"
+        )
+    elif record.problem == "tick_gossip":
+        print(
+            f"covered: {extra['covered']} "
+            f"({extra['informed']}/{extra['alive']} alive agents informed)"
+        )
+    elif record.problem == "tick_gathering":
+        node = extra["meeting_node"] if extra["meeting_node"] is not None else "(none)"
+        print(
+            f"gathered: {extra['gathered']} "
+            f"({extra['alive']}/{extra['team_size']} agents alive, at node {node})"
+        )
+    ticks = extra.get("ticks")
+    if ticks is not None:
+        dropped = ticks.get("ticks_dropped", 0)
+        suffix = f" (+{dropped} past the cap)" if dropped else ""
+        print(f"tick snapshots: {len(ticks['ticks'])} recorded{suffix}")
+
+
 _PRINTERS = {
     "rendezvous": _print_rendezvous,
     "baseline": _print_rendezvous,
     "esst": _print_esst,
     "teams": _print_teams,
+    "tick_leader": _print_tick,
+    "tick_gossip": _print_tick,
+    "tick_gathering": _print_tick,
 }
 
 
@@ -696,6 +843,44 @@ def _run_teams(args: argparse.Namespace) -> int:
     return _execute_or_dump(spec, args.dump_spec)
 
 
+def _run_tick(args: argparse.Namespace) -> int:
+    problem_params = {}
+    if args.interleaving != "synchronous":
+        problem_params["interleaving"] = args.interleaving
+    if args.patience is not None:
+        if args.interleaving != "lag":
+            raise ReproError("--patience only applies to --interleaving lag")
+        problem_params["interleaving_params"] = {"patience": args.patience}
+    if args.fault_rate:
+        problem_params["fault_rate"] = args.fault_rate
+    if args.crash_window is not None:
+        problem_params["crash_window"] = args.crash_window
+    if args.drop_rate:
+        problem_params["drop_rate"] = args.drop_rate
+    if args.max_ticks != 1000:
+        problem_params["max_ticks"] = args.max_ticks
+    if args.no_ticks:
+        problem_params["record_ticks"] = False
+    spec = ScenarioSpec(
+        problem=args.problem,
+        family=args.family,
+        size=args.size,
+        seed=args.seed,
+        team_size=args.team_size,
+        problem_params=problem_params,
+    )
+    if args.dump_spec is not None:
+        Path(args.dump_spec).write_text(spec.to_json() + "\n", encoding="utf-8")
+        print(f"wrote scenario spec to {args.dump_spec}")
+        return 0
+    record = run(spec)
+    if args.json:
+        print(record.to_json())
+    else:
+        _print_record(record)
+    return 0 if record.ok else 1
+
+
 def _run_spec_file(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
     record = run(spec, trace=args.trace or args.profile)
@@ -710,6 +895,21 @@ def _run_spec_file(args: argparse.Namespace) -> int:
     return 0 if record.ok else 1
 
 
+def _problem_param_sets(tokens: Optional[Sequence[str]]):
+    """Parse ``--problem-params`` JSON-object tokens into a grid dimension."""
+    if tokens is None:
+        return ((),)
+    param_sets = []
+    for token in tokens:
+        params = json.loads(token)
+        if not isinstance(params, dict):
+            raise ReproError(
+                f"--problem-params entries must be JSON objects, got {token!r}"
+            )
+        param_sets.append(params)
+    return tuple(param_sets)
+
+
 def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
     """Build the SweepSpec the shared grid flags describe (or load --spec)."""
     if args.spec is not None:
@@ -720,6 +920,7 @@ def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
         sizes=tuple(args.sizes),
         seeds=tuple(range(args.seeds)),
         schedulers=tuple(args.schedulers),
+        problem_param_sets=_problem_param_sets(args.problem_params),
         label_sets=(None if args.labels is None else tuple(args.labels),),
         team_sizes=(args.team_size,),
         max_traversals=args.max_traversals,
@@ -1060,6 +1261,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "rendezvous": _run_rendezvous,
         "esst": _run_esst,
         "teams": _run_teams,
+        "tick": _run_tick,
         "run": _run_spec_file,
         "sweep": _run_sweep,
         "worker": _run_worker,

@@ -51,6 +51,12 @@ def _worker_env() -> Dict[str, str]:
 class QueueExecutor(Executor):
     """Fan sweep cells out over leased work units and worker processes.
 
+    Tracing is a per-process concern and worker processes run their own
+    telemetry, so ``supports_trace`` is ``False``: ``run_sweep(...,
+    trace=True)`` degrades to an untraced run with a warning.  A *direct*
+    ``map_specs(..., trace=True)`` call still raises — silently ignoring an
+    explicit request would misreport what ran.
+
     Parameters
     ----------
     workers:
@@ -67,6 +73,8 @@ class QueueExecutor(Executor):
         has exited; ``None`` waits forever (e.g. when external workers are
         expected to finish the queue).
     """
+
+    supports_trace = False
 
     def __init__(
         self,

@@ -35,7 +35,14 @@ register themselves here without import cycles.
 from __future__ import annotations
 
 from .records import RunRecord, SweepResult
-from .registry import COST_MODELS, GRAPH_FAMILIES, PROBLEMS, SCHEDULERS, Registry
+from .registry import (
+    COST_MODELS,
+    GRAPH_FAMILIES,
+    INTERLEAVERS,
+    PROBLEMS,
+    SCHEDULERS,
+    Registry,
+)
 from .spec import SPEC_KEY_VERSION, ScenarioSpec, SweepSpec, spec_key
 
 __all__ = [
@@ -44,6 +51,7 @@ __all__ = [
     "SCHEDULERS",
     "PROBLEMS",
     "COST_MODELS",
+    "INTERLEAVERS",
     "ScenarioSpec",
     "SweepSpec",
     "spec_key",

@@ -32,6 +32,7 @@ from __future__ import annotations
 import concurrent.futures
 import inspect
 import time
+import warnings
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
 
 from ..exceptions import ReproError
@@ -89,8 +90,14 @@ class Executor:
 
     ``trace=True`` asks for each cell to run under a tracer, so every
     returned record carries ``extra["trace"]`` (see :func:`repro.runtime
-    .runner.run`).
+    .runner.run`).  Executors that cannot honour it (tracing is a
+    per-process concern) set :attr:`supports_trace` to ``False``;
+    :func:`run_sweep` then degrades to an untraced run with a warning
+    instead of failing the sweep.
     """
+
+    #: Whether ``map_specs(..., trace=True)`` is honoured by this executor.
+    supports_trace = True
 
     def map_specs(
         self,
@@ -240,6 +247,9 @@ def run_sweep(
 
     ``trace=True`` executes every *fresh* cell under a tracer (cached cells
     are served as stored; the trace is not part of the cell's identity).
+    An executor that cannot trace (``supports_trace = False``, e.g. the
+    queue executor) degrades gracefully: the sweep runs untraced and a
+    ``RuntimeWarning`` says so.
     """
     if isinstance(sweep, SweepSpec):
         specs = list(sweep.cells())
@@ -248,6 +258,14 @@ def run_sweep(
         specs = list(sweep)
         sweep_spec = None
     executor = executor if executor is not None else SerialExecutor()
+    if trace and not getattr(executor, "supports_trace", True):
+        warnings.warn(
+            f"{type(executor).__name__} cannot trace cells; running the sweep "
+            "untraced (use the serial or pool executor for extra['trace'] payloads)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        trace = False
     notify = _progress_notifier(progress)
     cells_total = get_registry().counter(
         "repro_sweep_cells_total", "Sweep cells by outcome (cached vs executed)"

@@ -38,6 +38,7 @@ __all__ = [
     "SCHEDULERS",
     "PROBLEMS",
     "COST_MODELS",
+    "INTERLEAVERS",
 ]
 
 
@@ -135,3 +136,7 @@ PROBLEMS = Registry("problem")
 
 #: Cost models: ``factory() -> CostModel``.
 COST_MODELS = Registry("cost model")
+
+#: Tick interleaving models (the tick-asynchronous analogue of the
+#: continuous-time adversaries): ``factory(seed=0, **params) -> Interleaver``.
+INTERLEAVERS = Registry("interleaver")

@@ -41,6 +41,7 @@ from ..sim import schedulers as _schedulers  # noqa: F401  (registers the advers
 from ..sim.position import Position
 from ..sim.schedulers import Scheduler
 from ..teams.problems import TeamMember, run_sgl
+from ..ticksim import problems as _tick_problems  # noqa: F401  (registers the tick kinds)
 from .records import RunRecord
 from .registry import COST_MODELS, GRAPH_FAMILIES, PROBLEMS, SCHEDULERS
 from .spec import ScenarioSpec

@@ -311,7 +311,8 @@ class SweepSpec:
     """A grid of scenarios: the cartesian product of the listed dimensions.
 
     The enumeration order of :meth:`cells` is fixed: family, size, seed,
-    scheduler, scheduler-parameter set, label set, team size, problem — the
+    scheduler, scheduler-parameter set, problem-parameter set, label set,
+    team size, problem — the
     outermost dimension varies slowest.  Per-cell seeding is deterministic:
     every cell carries its own seed taken from the ``seeds`` grid, so a cell
     is fully reproducible in isolation (the property the process-pool
@@ -325,6 +326,7 @@ class SweepSpec:
     schedulers: Tuple[str, ...] = ("round_robin",)
     label_sets: Tuple[Optional[Tuple[int, ...]], ...] = (None,)
     scheduler_param_sets: Tuple[ParamItems, ...] = ((),)
+    problem_param_sets: Tuple[ParamItems, ...] = ((),)
     team_sizes: Tuple[Optional[int], ...] = (None,)
     cost_model: str = "simulation"
     max_traversals: int = 2_000_000
@@ -347,6 +349,11 @@ class SweepSpec:
         )
         object.__setattr__(
             self,
+            "problem_param_sets",
+            tuple(_freeze_params(params) for params in self.problem_param_sets),
+        )
+        object.__setattr__(
+            self,
             "team_sizes",
             tuple(None if k is None else int(k) for k in self.team_sizes),
         )
@@ -360,6 +367,7 @@ class SweepSpec:
             * len(self.schedulers)
             * len(self.label_sets)
             * len(self.scheduler_param_sets)
+            * len(self.problem_param_sets)
             * len(self.team_sizes)
         )
 
@@ -371,11 +379,22 @@ class SweepSpec:
             self.seeds,
             self.schedulers,
             self.scheduler_param_sets,
+            self.problem_param_sets,
             self.label_sets,
             self.team_sizes,
             self.problems,
         )
-        for family, size, seed, scheduler, params, labels, team_size, problem in grid:
+        for (
+            family,
+            size,
+            seed,
+            scheduler,
+            params,
+            problem_params,
+            labels,
+            team_size,
+            problem,
+        ) in grid:
             yield ScenarioSpec(
                 problem=problem,
                 family=family,
@@ -385,6 +404,7 @@ class SweepSpec:
                 team_size=team_size,
                 scheduler=scheduler,
                 scheduler_params=params,
+                problem_params=problem_params,
                 cost_model=self.cost_model,
                 max_traversals=self.max_traversals,
                 on_cost_limit=self.on_cost_limit,
@@ -398,7 +418,7 @@ class SweepSpec:
         data: Dict[str, Any] = {}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
-            if spec_field.name == "scheduler_param_sets":
+            if spec_field.name in ("scheduler_param_sets", "problem_param_sets"):
                 value = [dict(params) for params in value]
             elif spec_field.name == "label_sets":
                 value = [None if labels is None else list(labels) for labels in value]

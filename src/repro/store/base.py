@@ -153,10 +153,13 @@ class ResultStore:
 
         ``matches`` are equality filters resolved against the record first
         and its spec second (the same rule as ``SweepResult.filter``), so
-        both ``problem="esst"`` and ``max_traversals=10**6`` work; ``n_range``
-        and ``cost_range`` are inclusive ``(lo, hi)`` bounds on the actual
-        graph size and the cost; ``keys`` restricts to a known key set (what
-        experiment aggregation passes).  Results come back in a canonical
+        both ``problem="esst"`` and ``max_traversals=10**6`` work — except
+        ``problem``, which matches by *prefix*: ``problem="tick"`` selects
+        every tick-asynchronous kind (``tick_leader``, ``tick_gossip``,
+        ``tick_gathering``) next to the exact names, which still only match
+        themselves; ``n_range`` and ``cost_range`` are inclusive ``(lo,
+        hi)`` bounds on the actual graph size and the cost; ``keys``
+        restricts to a known key set (what experiment aggregation passes).  Results come back in a canonical
         order (problem, family, size, seed, scheduler, key) regardless of
         the backend's on-disk layout, ready for ``.table()`` and
         :mod:`repro.analysis.aggregate`-style aggregation::
@@ -172,6 +175,7 @@ class ResultStore:
             raise ValueError(f"offset must be non-negative, got {offset}")
         if limit is not None and limit < 0:
             raise ValueError(f"limit must be non-negative, got {limit}")
+        problem_prefix = matches.pop("problem", None)
         if keys is not None:
             # Keyed lookups, not a scan: keys are content-hash addresses, so
             # the cost is O(len(keys)) regardless of how big the store is.
@@ -186,6 +190,10 @@ class ResultStore:
             candidates = self.records()
         selected = []
         for record in candidates:
+            if problem_prefix is not None and not record.spec.problem.startswith(
+                str(problem_prefix)
+            ):
+                continue
             if n_range is not None and not (n_range[0] <= record.graph_size <= n_range[1]):
                 continue
             if cost_range is not None and not (cost_range[0] <= record.cost <= cost_range[1]):

@@ -1,0 +1,35 @@
+"""Tick-asynchronous simulation subsystem.
+
+The continuous-time engine in :mod:`repro.sim` models the paper's adversary
+as a scheduler choosing which agent advances along its trajectory next.
+This package provides the discrete counterpart (ROADMAP item 5): a
+tick-stepped engine where, each tick, an *interleaving model* chooses which
+agents activate and in what order, a *fault plan* may crash agents or drop
+messages, and a *data collector* records bounded per-agent variables into
+``RunRecord.extra["ticks"]``.
+
+Everything flows through the existing runtime: interleavers register in
+:data:`repro.runtime.registry.INTERLEAVERS`, the tick problem kinds
+(``tick_leader``, ``tick_gossip``, ``tick_gathering``) in
+:data:`repro.runtime.registry.PROBLEMS`, and their fault/interleaving
+configuration travels declaratively in ``ScenarioSpec.problem_params`` — so
+faulty runs are content-addressed, cacheable and sweepable like any other
+cell.
+"""
+
+from .datacollector import TICKS_SCHEMA_VERSION, DataCollector
+from .engine import AgentContext, TickAgent, TickEngine, TickResult
+from .faults import FaultPlan
+from .interleavers import Interleaver
+from . import problems as _problems  # noqa: F401  (registers the tick problem kinds)
+
+__all__ = [
+    "AgentContext",
+    "DataCollector",
+    "FaultPlan",
+    "Interleaver",
+    "TickAgent",
+    "TickEngine",
+    "TickResult",
+    "TICKS_SCHEMA_VERSION",
+]

@@ -1,0 +1,81 @@
+"""Per-tick variable collection into ``RunRecord.extra["ticks"]``.
+
+The collector is the tick engine's counterpart of :mod:`repro.obs.trace`:
+a schema-versioned, bounded, JSON-plain payload that travels inside the
+record's ``extra`` bag — store-queryable, mergeable and servable like any
+other result field.  The payload shape::
+
+    {
+      "schema": 1,
+      "every": 1,                 # ticks between snapshots
+      "ticks": [
+        {"tick": 1,
+         "activated": [0, 2, 1],  # activation order that tick
+         "agents": {"0": {"node": 3, "halted": false, ...}, ...}},
+        ...
+      ],
+      "ticks_dropped": 0          # snapshots beyond the cap
+    }
+
+Agent variables come from :meth:`repro.ticksim.engine.TickAgent.observed`
+and must stay small and JSON-plain (ints, bools, strings) — the collector
+is for bounded state, not event logs.  Agent keys are strings so a record
+rebuilt from its JSON form compares equal to the original (the
+content-addressed store's round-trip property).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+__all__ = ["DataCollector", "TICKS_SCHEMA_VERSION", "DEFAULT_MAX_TICK_RECORDS"]
+
+#: Version stamp carried by every ticks payload.
+TICKS_SCHEMA_VERSION = 1
+
+#: Default cap on recorded tick snapshots; later ticks are counted, not kept.
+DEFAULT_MAX_TICK_RECORDS = 64
+
+
+class DataCollector:
+    """Record bounded per-agent variables, one snapshot per ``every`` ticks."""
+
+    def __init__(
+        self, max_records: int = DEFAULT_MAX_TICK_RECORDS, every: int = 1
+    ) -> None:
+        self.max_records = max(0, int(max_records))
+        self.every = max(1, int(every))
+        self._ticks: List[Dict[str, Any]] = []
+        self._dropped = 0
+
+    def collect(
+        self,
+        tick: int,
+        activated: Sequence[int],
+        agent_vars: Mapping[int, Mapping[str, Any]],
+    ) -> None:
+        """Snapshot ``tick`` if it falls on the cadence and fits the cap."""
+        if tick % self.every != 0:
+            return
+        if len(self._ticks) >= self.max_records:
+            self._dropped += 1
+            return
+        self._ticks.append(
+            {
+                "tick": tick,
+                "activated": list(activated),
+                "agents": {
+                    str(agent_id): dict(variables)
+                    for agent_id, variables in sorted(agent_vars.items())
+                },
+            }
+        )
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON-plain ``extra["ticks"]`` document."""
+        return {
+            "schema": TICKS_SCHEMA_VERSION,
+            "every": self.every,
+            "ticks": list(self._ticks),
+            "ticks_dropped": self._dropped,
+        }

@@ -1,0 +1,246 @@
+"""The tick-stepped engine: interleaved activations over a port graph.
+
+Execution model (the discrete analogue of :mod:`repro.sim.engine`):
+
+* Time advances in integer ticks, starting at 1.  Each tick:
+
+  1. messages sent last tick are delivered to the mailboxes of their target
+     nodes, and every agent's inbox becomes the mail at its current node;
+  2. crash faults scheduled for this tick fire (see
+     :mod:`repro.ticksim.faults`);
+  3. the interleaver names which alive, unhalted agents activate, in order;
+     each activated agent runs :meth:`TickAgent.on_activate` with an
+     :class:`AgentContext` through which it may read its inbox, ``send``
+     messages out of ports (delivered next tick, possibly dropped), ``move``
+     through a port (immediate), or ``halt``;
+  4. the data collector snapshots the agents' observed variables;
+  5. the goal predicate is evaluated — if it holds the run stops with
+     reason ``"done"``.
+
+* The run also stops when nothing can ever activate again (all agents
+  halted or crashed — reason ``"quiescent"``) or when ``max_ticks`` ticks
+  have elapsed (reason ``"tick_limit"``).
+
+Everything is deterministic in ``(graph, agents, interleaver, faults)``:
+the engine draws no randomness of its own, so byte-identical records across
+the serial, pool and queue executors follow from the components being
+deterministic in the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ReproError
+from ..graphs.port_graph import PortLabeledGraph
+from .datacollector import DataCollector
+from .faults import FaultPlan
+from .interleavers import Interleaver
+
+__all__ = ["TickAgent", "AgentContext", "TickEngine", "TickResult"]
+
+
+class TickAgent:
+    """Base class for tick-activated agents.
+
+    Subclasses implement :meth:`on_activate` (the agent's whole program —
+    there is no other hook) and :meth:`observed` (the bounded variables the
+    data collector snapshots).  Agents never touch the engine directly;
+    everything goes through the :class:`AgentContext`.
+    """
+
+    def __init__(self, agent_id: int, node: int, label: Optional[int] = None) -> None:
+        self.id = int(agent_id)
+        self.node = int(node)
+        self.label = self.id if label is None else int(label)
+        self.alive = True
+        self.halted = False
+        self.activations = 0
+        self.inbox: List[Any] = []
+
+    def on_activate(self, ctx: "AgentContext") -> None:
+        raise NotImplementedError
+
+    def observed(self) -> Dict[str, Any]:
+        """Small JSON-plain variables for the per-tick snapshot."""
+        return {"node": self.node, "halted": self.halted, "alive": self.alive}
+
+
+class AgentContext:
+    """The activated agent's window onto the engine (one per activation)."""
+
+    def __init__(self, engine: "TickEngine", agent: TickAgent) -> None:
+        self._engine = engine
+        self.agent = agent
+        self.tick = engine.tick
+
+    @property
+    def degree(self) -> int:
+        """Degree of the agent's current node."""
+        return self._engine.graph.degree(self.agent.node)
+
+    @property
+    def inbox(self) -> List[Any]:
+        """Messages delivered (and not yet drained) at the agent's nodes."""
+        return self.agent.inbox
+
+    def receive(self) -> List[Any]:
+        """Drain the inbox: return all pending messages and clear it."""
+        messages = self.agent.inbox
+        self.agent.inbox = []
+        return messages
+
+    def send(self, port: int, payload: Any) -> None:
+        """Send ``payload`` through ``port``; delivered next tick (or dropped)."""
+        self._engine._send(self.agent, port, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` through every port of the current node."""
+        for port in range(self.degree):
+            self.send(port, payload)
+
+    def move(self, port: int) -> int:
+        """Traverse ``port`` immediately; returns the entry port at the target."""
+        target, entry_port = self._engine.graph.traverse(self.agent.node, port)
+        self.agent.node = target
+        self._engine.moves += 1
+        return entry_port
+
+    def halt(self) -> None:
+        """Stop activating forever (a normal, non-faulty termination)."""
+        self.agent.halted = True
+
+
+@dataclass
+class TickResult:
+    """What one engine run did, independent of any problem's goal."""
+
+    reason: str  # "done" | "quiescent" | "tick_limit"
+    ticks: int
+    activations: int
+    moves: int
+    messages_sent: int
+    messages_dropped: int
+    crashed: Tuple[int, ...]
+    ticks_payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class TickEngine:
+    """Drive a set of :class:`TickAgent` instances to termination."""
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        agents: Sequence[TickAgent],
+        interleaver: Interleaver,
+        faults: FaultPlan,
+        collector: Optional[DataCollector] = None,
+        max_ticks: int = 1000,
+    ) -> None:
+        if not agents:
+            raise ReproError("the tick engine needs at least one agent")
+        ids = [agent.id for agent in agents]
+        if len(set(ids)) != len(ids):
+            raise ReproError(f"duplicate agent ids: {sorted(ids)}")
+        self.graph = graph
+        self.agents: Dict[int, TickAgent] = {agent.id: agent for agent in agents}
+        self.interleaver = interleaver
+        self.faults = faults
+        self.collector = collector
+        self.max_ticks = int(max_ticks)
+        if self.max_ticks < 1:
+            raise ReproError("max_ticks must be positive")
+        self.tick = 0
+        self.activations = 0
+        self.moves = 0
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.crashed: List[int] = []
+        # Messages in flight: (target_node, payload), delivered next tick.
+        self._outbox: List[Tuple[int, Any]] = []
+
+    # ------------------------------------------------------------------
+    # engine internals
+    # ------------------------------------------------------------------
+    def _send(self, agent: TickAgent, port: int, payload: Any) -> None:
+        self.messages_sent += 1
+        if self.faults.drops_message():
+            self.messages_dropped += 1
+            return
+        target, _entry_port = self.graph.traverse(agent.node, port)
+        self._outbox.append((target, payload))
+
+    def _deliver(self) -> None:
+        mail: Dict[int, List[Any]] = {}
+        for target, payload in self._outbox:
+            mail.setdefault(target, []).append(payload)
+        self._outbox = []
+        # Mail *accumulates* in the inbox until the agent activates and
+        # drains it (AgentContext.receive) — an agent the interleaver starves
+        # for a few ticks must not lose the messages delivered meanwhile.
+        for agent in self.agents.values():
+            if agent.alive:
+                agent.inbox.extend(mail.get(agent.node, ()))
+
+    def _crash(self, agent: TickAgent) -> None:
+        agent.alive = False
+        agent.inbox = []
+        self.crashed.append(agent.id)
+
+    def _active_ids(self) -> List[int]:
+        return sorted(
+            agent.id
+            for agent in self.agents.values()
+            if agent.alive and not agent.halted
+        )
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(self, goal: Optional[Callable[["TickEngine"], bool]] = None) -> TickResult:
+        """Step ticks until ``goal`` holds, nothing can activate, or the limit."""
+        reason = "tick_limit"
+        while self.tick < self.max_ticks:
+            if not self._active_ids():
+                reason = "quiescent"
+                break
+            self.tick += 1
+            self._deliver()
+            for agent_id in self._active_ids():
+                if self.faults.crashes_at_tick(agent_id, self.tick):
+                    self._crash(self.agents[agent_id])
+            activatable = self._active_ids()
+            activated: List[int] = []
+            for agent_id in self.interleaver.order(self.tick, activatable):
+                agent = self.agents.get(agent_id)
+                if agent is None or not agent.alive or agent.halted:
+                    continue
+                agent.activations += 1
+                self.activations += 1
+                if self.faults.crashes_on_activation(agent_id, agent.activations):
+                    self._crash(agent)
+                    continue
+                activated.append(agent_id)
+                agent.on_activate(AgentContext(self, agent))
+            if self.collector is not None:
+                self.collector.collect(
+                    self.tick,
+                    activated,
+                    {agent.id: agent.observed() for agent in self.agents.values()},
+                )
+            if goal is not None and goal(self):
+                reason = "done"
+                break
+        return TickResult(
+            reason=reason,
+            ticks=self.tick,
+            activations=self.activations,
+            moves=self.moves,
+            messages_sent=self.messages_sent,
+            messages_dropped=self.messages_dropped,
+            crashed=tuple(sorted(self.crashed)),
+            ticks_payload=(
+                self.collector.payload() if self.collector is not None else {}
+            ),
+        )

@@ -1,0 +1,276 @@
+"""Registered experiment tables for the tick-asynchronous problem kinds.
+
+Three tables (T1–T3), one per tick problem, each sweeping size × fault
+configuration under the seeded-random interleaver and aggregating over
+seeds — success rate and ticks-to-termination per ``(family, n,
+fault_rate)`` group:
+
+* **T1** ``tick_leader`` — consensus under crash faults.  The ``consensus``
+  column is the ``min`` (logical *all*) of the per-seed consensus flags, so
+  it reads ``True`` exactly when every seeded run elected exactly one
+  leader — the property CI asserts at ``fault_rate=0``.
+* **T2** ``tick_gossip`` — broadcast cover under message drops.
+* **T3** ``tick_gathering`` — crash-tolerant gathering of mobile agents.
+
+The grids are deliberately small (tens of cells, sub-second each) so the
+tables are cheap to populate cold and render warm from a store with zero
+executions, like E1–E6.  The T1 defaults are the contract for the CI
+``ticksim-smoke`` job: its queue-dispatched sweep must enumerate exactly
+this grid for the warm re-render to hit every cell.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.experiment_spec import ExperimentSpec, experiment
+from ..runtime.spec import SweepSpec
+
+__all__ = ["TICK_EXPERIMENTS"]
+
+#: The registered tick experiment names, in registration order.
+TICK_EXPERIMENTS = ("T1", "T2", "T3")
+
+
+def _fault_param_sets(
+    fault_rates: Sequence[float],
+    *,
+    interleaving: str,
+    max_ticks: int,
+    crash_window: Optional[int] = None,
+    drop_rate: Optional[float] = None,
+) -> Tuple[Mapping[str, Any], ...]:
+    sets = []
+    for rate in fault_rates:
+        params = {
+            "interleaving": interleaving,
+            "fault_rate": float(rate),
+            "max_ticks": int(max_ticks),
+        }
+        if crash_window is not None:
+            params["crash_window"] = int(crash_window)
+        if drop_rate is not None:
+            params["drop_rate"] = float(drop_rate)
+        sets.append(params)
+    return tuple(sets)
+
+
+def _tick_pipeline(success_column: str) -> Tuple[Mapping[str, Any], ...]:
+    """Shared T-table shape: per-record extract, then seed aggregation."""
+    return (
+        {
+            "op": "extract",
+            "columns": [
+                "family",
+                "n",
+                "fault_rate",
+                "drop_rate",
+                "seed",
+                "ok",
+                "consensus",
+                "cost",
+                "alive",
+            ],
+        },
+        {
+            "op": "group_by",
+            "keys": ["family", "n", "fault_rate", "drop_rate"],
+            "aggregates": {
+                success_column: ["mean", "ok"],
+                "consensus": ["min", "consensus"],
+                "mean_ticks": ["mean", "cost"],
+                "max_ticks": ["max", "cost"],
+                "min_alive": ["min", "alive"],
+                "runs": ["count", "seed"],
+            },
+        },
+    )
+
+
+@experiment("T1")
+def _t1(
+    sizes: Sequence[int] = (4, 6),
+    seeds: Sequence[int] = tuple(range(5)),
+    family: str = "ring",
+    fault_rates: Sequence[float] = (0.0, 0.25),
+    interleaving: str = "random",
+    max_ticks: int = 400,
+    crash_window: int = 8,
+) -> ExperimentSpec:
+    """T1: tick-asynchronous leader election under crash faults."""
+    sweep = SweepSpec(
+        problems=("tick_leader",),
+        families=(family,),
+        sizes=tuple(sizes),
+        seeds=tuple(seeds),
+        problem_param_sets=_fault_param_sets(
+            fault_rates,
+            interleaving=interleaving,
+            max_ticks=max_ticks,
+            crash_window=crash_window,
+        ),
+        name="t1-tick-leader",
+    )
+    return ExperimentSpec(
+        name="T1",
+        title="T1: tick-async leader election vs n and fault rate",
+        description=(
+            "Flood-max leader election under the seeded-random interleaver; "
+            "consensus = every seed elected exactly one leader."
+        ),
+        sweep=sweep,
+        pipeline=_tick_pipeline("success_rate"),
+        columns=(
+            "family",
+            "n",
+            "fault_rate",
+            "success_rate",
+            "consensus",
+            "mean_ticks",
+            "runs",
+        ),
+    )
+
+
+@experiment("T2")
+def _t2(
+    sizes: Sequence[int] = (4, 6, 8),
+    seeds: Sequence[int] = tuple(range(5)),
+    family: str = "ring",
+    drop_rates: Sequence[float] = (0.0, 0.3),
+    interleaving: str = "random",
+    max_ticks: int = 400,
+) -> ExperimentSpec:
+    """T2: tick-asynchronous gossip cover under message drops."""
+    param_sets = tuple(
+        {
+            "interleaving": interleaving,
+            "drop_rate": float(rate),
+            "max_ticks": int(max_ticks),
+        }
+        for rate in drop_rates
+    )
+    sweep = SweepSpec(
+        problems=("tick_gossip",),
+        families=(family,),
+        sizes=tuple(sizes),
+        seeds=tuple(seeds),
+        problem_param_sets=param_sets,
+        name="t2-tick-gossip",
+    )
+    return ExperimentSpec(
+        name="T2",
+        title="T2: tick-async gossip cover vs n and drop rate",
+        description=(
+            "Rumour flooding with bounded rebroadcasts; cover_rate = fraction "
+            "of seeded runs informing every alive agent."
+        ),
+        sweep=sweep,
+        pipeline=(
+            {
+                "op": "extract",
+                "columns": [
+                    "family",
+                    "n",
+                    "drop_rate",
+                    "seed",
+                    "ok",
+                    "cost",
+                    "informed",
+                ],
+            },
+            {
+                "op": "group_by",
+                "keys": ["family", "n", "drop_rate"],
+                "aggregates": {
+                    "cover_rate": ["mean", "ok"],
+                    "mean_ticks": ["mean", "cost"],
+                    "mean_informed": ["mean", "informed"],
+                    "runs": ["count", "seed"],
+                },
+            },
+        ),
+        columns=(
+            "family",
+            "n",
+            "drop_rate",
+            "cover_rate",
+            "mean_ticks",
+            "mean_informed",
+            "runs",
+        ),
+    )
+
+
+@experiment("T3")
+def _t3(
+    sizes: Sequence[int] = (4, 6),
+    seeds: Sequence[int] = tuple(range(5)),
+    family: str = "ring",
+    team_size: int = 3,
+    fault_rates: Sequence[float] = (0.0, 0.25),
+    interleaving: str = "random",
+    max_ticks: int = 2000,
+    crash_window: int = 50,
+) -> ExperimentSpec:
+    """T3: gathering with crash-faulty agents (crashed agents excluded)."""
+    sweep = SweepSpec(
+        problems=("tick_gathering",),
+        families=(family,),
+        sizes=tuple(sizes),
+        seeds=tuple(seeds),
+        team_sizes=(team_size,),
+        problem_param_sets=_fault_param_sets(
+            fault_rates,
+            interleaving=interleaving,
+            max_ticks=max_ticks,
+            crash_window=crash_window,
+        ),
+        name="t3-tick-gathering",
+    )
+    return ExperimentSpec(
+        name="T3",
+        title="T3: crash-tolerant gathering vs n and fault rate",
+        description=(
+            "Seeded lazy random walks until all alive agents co-locate; "
+            "crashed agents are excluded from the goal."
+        ),
+        sweep=sweep,
+        pipeline=(
+            {
+                "op": "extract",
+                "columns": [
+                    "family",
+                    "n",
+                    "fault_rate",
+                    "team_size",
+                    "seed",
+                    "ok",
+                    "cost",
+                    "alive",
+                ],
+            },
+            {
+                "op": "group_by",
+                "keys": ["family", "n", "fault_rate", "team_size"],
+                "aggregates": {
+                    "gather_rate": ["mean", "ok"],
+                    "mean_ticks": ["mean", "cost"],
+                    "p95_ticks": ["p95", "cost"],
+                    "min_alive": ["min", "alive"],
+                    "runs": ["count", "seed"],
+                },
+            },
+        ),
+        columns=(
+            "family",
+            "n",
+            "fault_rate",
+            "team_size",
+            "gather_rate",
+            "mean_ticks",
+            "p95_ticks",
+            "min_alive",
+            "runs",
+        ),
+    )

@@ -1,0 +1,124 @@
+"""Per-tick activation orders: the tick-asynchronous adversary.
+
+An :class:`Interleaver` is asked once per tick which of the currently alive,
+unhalted agents activate and in what order.  It is the discrete analogue of
+the continuous-time schedulers in :mod:`repro.sim.schedulers`: the engine
+never activates an agent the interleaver did not name, so starvation and
+reordering are entirely the interleaver's choice.
+
+Interleavers register in :data:`repro.runtime.registry.INTERLEAVERS` with
+the factory signature ``factory(seed=0, **params) -> Interleaver`` (the same
+shape as the scheduler registry), and are named by the ``"interleaving"``
+key of ``ScenarioSpec.problem_params``:
+
+============== ===============================================================
+name           per-tick order
+============== ===============================================================
+synchronous    every alive agent, in ascending id order (lock-step rounds)
+round_robin    exactly one agent per tick, cycling through ids
+random         a seeded uniform permutation of the alive agents, redrawn
+               per tick
+lag            adversarial: starve the lowest-id alive agent for ``patience``
+               consecutive ticks, then release it for one tick, repeat with
+               the next victim
+============== ===============================================================
+
+All interleavers are deterministic in ``(seed, params)`` and in the alive
+set they are shown — the property the byte-identical-records guarantee of
+the sweep executors rests on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..runtime.registry import INTERLEAVERS
+
+__all__ = ["Interleaver"]
+
+
+class Interleaver:
+    """Strategy interface: choose this tick's activation order.
+
+    ``order(tick, alive)`` receives the 1-based tick number and the ids of
+    the agents that can activate (alive and unhalted, ascending), and
+    returns the ids to activate this tick, in activation order.  Returning
+    an empty sequence is allowed (the tick passes with message delivery
+    only).
+    """
+
+    def order(self, tick: int, alive: Sequence[int]) -> List[int]:
+        raise NotImplementedError
+
+
+@INTERLEAVERS.register("synchronous")
+class SynchronousInterleaver(Interleaver):
+    """Lock-step rounds: every alive agent activates, ascending ids."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def order(self, tick: int, alive: Sequence[int]) -> List[int]:
+        return list(alive)
+
+
+@INTERLEAVERS.register("round_robin")
+class RoundRobinInterleaver(Interleaver):
+    """One agent per tick, cycling through the alive ids in order."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._cursor = 0
+
+    def order(self, tick: int, alive: Sequence[int]) -> List[int]:
+        if not alive:
+            return []
+        chosen = alive[self._cursor % len(alive)]
+        self._cursor += 1
+        return [chosen]
+
+
+@INTERLEAVERS.register("random")
+class RandomInterleaver(Interleaver):
+    """A fresh seeded uniform permutation of the alive agents each tick."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        # String seeding goes through the sha512 initialiser, which is
+        # stable across processes and Python builds (unlike hash()).
+        self._rng = random.Random(f"{seed}:interleave")
+
+    def order(self, tick: int, alive: Sequence[int]) -> List[int]:
+        permutation = list(alive)
+        self._rng.shuffle(permutation)
+        return permutation
+
+
+@INTERLEAVERS.register("lag")
+class LagInterleaver(Interleaver):
+    """Adversarial starvation: hold one victim back for ``patience`` ticks.
+
+    Every tick all non-victim agents activate (ascending); the victim is
+    withheld until it has been starved for ``patience`` consecutive ticks,
+    then activates last for one tick, after which the next alive id becomes
+    the victim.  With ``patience=0`` this degenerates to ``synchronous``.
+    """
+
+    def __init__(self, seed: int = 0, patience: int = 8) -> None:
+        self.seed = seed
+        self.patience = max(0, int(patience))
+        self._victim_index = 0
+        self._starved = 0
+
+    def order(self, tick: int, alive: Sequence[int]) -> List[int]:
+        if not alive:
+            return []
+        victim = alive[self._victim_index % len(alive)]
+        others = [agent_id for agent_id in alive if agent_id != victim]
+        if self._starved < self.patience:
+            self._starved += 1
+            return others
+        self._starved = 0
+        self._victim_index += 1
+        return others + [victim]

@@ -1,0 +1,355 @@
+"""Tick-asynchronous problem kinds: leader election, gossip, gathering.
+
+Three problems registered in :data:`repro.runtime.registry.PROBLEMS` on top
+of the tick engine.  All three read their configuration from
+``ScenarioSpec.problem_params`` (every key optional):
+
+``interleaving`` (default ``"synchronous"``)
+    An :data:`~repro.runtime.registry.INTERLEAVERS` name.
+``interleaving_params`` (default ``{}``)
+    Keyword parameters for the interleaver factory (string keys, e.g.
+    ``{"patience": 16}`` for ``"lag"``).
+``max_ticks`` (default 1000)
+    Tick budget; the run stops with reason ``"tick_limit"`` beyond it.
+``fault_rate``, ``crash_at``, ``crash_after_activations``, ``drop_rate``
+    The fault plan (see :mod:`repro.ticksim.faults`).
+``record_ticks`` (default ``True``), ``max_tick_records`` (default 64),
+``ticks_every`` (default 1)
+    Data-collector knobs; the payload lands in ``extra["ticks"]``.
+
+Every record echoes its effective configuration (``interleaving``,
+``fault_rate``, ``drop_rate``) into ``extra`` so experiment pipelines can
+extract them as columns — ``problem_params`` is not on the field-resolution
+path of :func:`repro.runtime.records.resolve_field`.
+
+The kinds (cost = ticks to termination, decisions = total activations):
+
+``tick_leader``
+    One stationary agent per node (labels ``3 + 2 i`` unless
+    ``spec.labels`` says otherwise) flooding the maximum label.  The run
+    stops when the network is stable (no broadcasts pending, no mail in
+    flight); the consensus check then requires *exactly one* alive agent
+    claiming leadership and unanimous agreement on its label — crash the
+    top-labelled agent mid-flood and zero agents claim, which is precisely
+    the fault-sensitivity the T1 experiment measures.
+``tick_gossip``
+    A rumour starts at agent 0 and floods; each informed agent rebroadcasts
+    a bounded number of times (``rebroadcasts``, default 3 — headroom
+    against ``drop_rate``).  Success = every alive agent informed.
+``tick_gathering``
+    ``spec.team_size`` (default 3) mobile agents perform seeded random
+    walks; success = all alive agents co-located.  Crashed agents are
+    excluded from the goal, making this the crash-tolerant gathering
+    variant.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exceptions import ReproError
+from ..exploration.cost_model import CostModel
+from ..graphs.port_graph import PortLabeledGraph
+from ..runtime.records import RunRecord
+from ..runtime.registry import INTERLEAVERS, PROBLEMS
+from ..runtime.spec import ScenarioSpec
+from .datacollector import DEFAULT_MAX_TICK_RECORDS, DataCollector
+from .engine import AgentContext, TickAgent, TickEngine, TickResult
+from .faults import FaultPlan
+
+__all__ = ["build_tick_engine", "DEFAULT_MAX_TICKS"]
+
+#: Default tick budget of every tick problem.
+DEFAULT_MAX_TICKS = 1000
+
+
+# ----------------------------------------------------------------------
+# shared scaffolding
+# ----------------------------------------------------------------------
+def _tick_config(spec: ScenarioSpec) -> Dict[str, Any]:
+    params = spec.problem_kwargs
+    interleaving = str(params.get("interleaving", "synchronous"))
+    interleaving_params = dict(params.get("interleaving_params") or {})
+    max_ticks = int(params.get("max_ticks", DEFAULT_MAX_TICKS))
+    return {
+        "interleaving": interleaving,
+        "interleaving_params": interleaving_params,
+        "max_ticks": max_ticks,
+        "fault_rate": float(params.get("fault_rate", 0.0)),
+        "drop_rate": float(params.get("drop_rate", 0.0)),
+        "record_ticks": bool(params.get("record_ticks", True)),
+        "max_tick_records": int(params.get("max_tick_records", DEFAULT_MAX_TICK_RECORDS)),
+        "ticks_every": int(params.get("ticks_every", 1)),
+    }
+
+
+def build_tick_engine(
+    spec: ScenarioSpec, graph: PortLabeledGraph, agents: List[TickAgent]
+) -> Tuple[TickEngine, Dict[str, Any]]:
+    """Assemble interleaver + faults + collector around ``agents``.
+
+    Returns the engine and the parsed config (which the problems echo into
+    the record's ``extra`` bag).
+    """
+    config = _tick_config(spec)
+    interleaver = INTERLEAVERS.create(
+        config["interleaving"], seed=spec.seed, **config["interleaving_params"]
+    )
+    faults = FaultPlan.from_params(
+        spec.problem_kwargs,
+        n_agents=len(agents),
+        seed=spec.seed,
+        max_ticks=config["max_ticks"],
+    )
+    collector = (
+        DataCollector(max_records=config["max_tick_records"], every=config["ticks_every"])
+        if config["record_ticks"]
+        else None
+    )
+    engine = TickEngine(
+        graph,
+        agents,
+        interleaver=interleaver,
+        faults=faults,
+        collector=collector,
+        max_ticks=config["max_ticks"],
+    )
+    return engine, config
+
+
+def _tick_record(
+    spec: ScenarioSpec,
+    graph: PortLabeledGraph,
+    result: TickResult,
+    config: Dict[str, Any],
+    *,
+    ok: bool,
+    extra: Dict[str, Any],
+) -> RunRecord:
+    payload: Dict[str, Any] = {
+        "interleaving": config["interleaving"],
+        "fault_rate": config["fault_rate"],
+        "drop_rate": config["drop_rate"],
+        "ticks": result.ticks_payload if config["record_ticks"] else None,
+        "crashed": result.crashed,
+        "messages_sent": result.messages_sent,
+        "messages_dropped": result.messages_dropped,
+        "moves": result.moves,
+    }
+    payload.update(extra)
+    return RunRecord(
+        spec=spec,
+        ok=ok,
+        cost=result.ticks,
+        reason=result.reason,
+        decisions=result.activations,
+        graph_name=graph.name,
+        graph_size=graph.size,
+        graph_edges=graph.num_edges,
+        extra=payload,
+    )
+
+
+def _alive(engine: TickEngine) -> List[TickAgent]:
+    return [agent for agent in engine.agents.values() if agent.alive]
+
+
+# ----------------------------------------------------------------------
+# leader election (flood-max)
+# ----------------------------------------------------------------------
+class _LeaderAgent(TickAgent):
+    def __init__(self, agent_id: int, node: int, label: int) -> None:
+        super().__init__(agent_id, node, label)
+        self.max_seen = self.label
+        self.pending_broadcast = True
+
+    def on_activate(self, ctx: AgentContext) -> None:
+        for message in ctx.receive():
+            if message > self.max_seen:
+                self.max_seen = message
+                self.pending_broadcast = True
+        if self.pending_broadcast:
+            ctx.broadcast(self.max_seen)
+            self.pending_broadcast = False
+
+    def observed(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "alive": self.alive,
+            "max_seen": self.max_seen,
+            "is_leader": self.alive and self.max_seen == self.label,
+        }
+
+
+def _leader_stable(engine: TickEngine) -> bool:
+    # Stable = nothing will ever change again: no broadcast pending, no
+    # message in flight, no unread mail.  (Engine goal checks run after the
+    # tick's activations, before the next delivery.)
+    if engine._outbox:
+        return False
+    for agent in _alive(engine):
+        if agent.pending_broadcast or agent.inbox:
+            return False
+    return True
+
+
+@PROBLEMS.register("tick_leader")
+def _run_tick_leader(
+    spec: ScenarioSpec, graph: PortLabeledGraph, model: CostModel
+) -> RunRecord:
+    nodes = sorted(graph.nodes())
+    if spec.labels is not None:
+        labels = list(spec.labels)
+        if len(labels) != len(nodes):
+            raise ReproError(
+                f"tick_leader needs one label per node, got {len(labels)} "
+                f"for {len(nodes)} nodes"
+            )
+        if len(set(labels)) != len(labels):
+            raise ReproError("tick_leader labels must be distinct")
+    else:
+        labels = [3 + 2 * index for index in range(len(nodes))]
+    agents: List[TickAgent] = [
+        _LeaderAgent(index, node, labels[index]) for index, node in enumerate(nodes)
+    ]
+    engine, config = build_tick_engine(spec, graph, agents)
+    result = engine.run(goal=_leader_stable)
+    alive = _alive(engine)
+    leaders = [agent.label for agent in alive if agent.max_seen == agent.label]
+    agreed = len({agent.max_seen for agent in alive}) == 1 if alive else False
+    consensus = result.reason == "done" and agreed and len(leaders) == 1
+    return _tick_record(
+        spec,
+        graph,
+        result,
+        config,
+        ok=consensus,
+        extra={
+            "consensus": consensus,
+            "leader": leaders[0] if len(leaders) == 1 else None,
+            "leaders": len(leaders),
+            "agreed": agreed,
+            "alive": len(alive),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# gossip / broadcast-until-cover
+# ----------------------------------------------------------------------
+class _GossipAgent(TickAgent):
+    def __init__(self, agent_id: int, node: int, rebroadcasts: int) -> None:
+        super().__init__(agent_id, node)
+        self.informed = agent_id == 0
+        self.broadcasts_left = int(rebroadcasts)
+
+    def on_activate(self, ctx: AgentContext) -> None:
+        if any(message == "rumor" for message in ctx.receive()):
+            self.informed = True
+        if self.informed and self.broadcasts_left > 0:
+            ctx.broadcast("rumor")
+            self.broadcasts_left -= 1
+
+    def observed(self) -> Dict[str, Any]:
+        return {"node": self.node, "alive": self.alive, "informed": self.informed}
+
+
+def _gossip_covered(engine: TickEngine) -> bool:
+    alive = _alive(engine)
+    return bool(alive) and all(agent.informed for agent in alive)
+
+
+@PROBLEMS.register("tick_gossip")
+def _run_tick_gossip(
+    spec: ScenarioSpec, graph: PortLabeledGraph, model: CostModel
+) -> RunRecord:
+    rebroadcasts = int(spec.problem_kwargs.get("rebroadcasts", 3))
+    if rebroadcasts < 1:
+        raise ReproError("tick_gossip needs rebroadcasts >= 1")
+    nodes = sorted(graph.nodes())
+    agents: List[TickAgent] = [
+        _GossipAgent(index, node, rebroadcasts) for index, node in enumerate(nodes)
+    ]
+    engine, config = build_tick_engine(spec, graph, agents)
+    result = engine.run(goal=_gossip_covered)
+    alive = _alive(engine)
+    informed = sum(1 for agent in alive if agent.informed)
+    return _tick_record(
+        spec,
+        graph,
+        result,
+        config,
+        ok=result.reason == "done",
+        extra={
+            "covered": result.reason == "done",
+            "informed": informed,
+            "alive": len(alive),
+            "rebroadcasts": rebroadcasts,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# gathering with crash-faulty agents
+# ----------------------------------------------------------------------
+class _WalkerAgent(TickAgent):
+    def __init__(self, agent_id: int, node: int, seed: int) -> None:
+        super().__init__(agent_id, node)
+        # Per-agent walk stream, stable across processes (string seeding).
+        self._rng = random.Random(f"{seed}:walk:{agent_id}")
+
+    def on_activate(self, ctx: AgentContext) -> None:
+        # Lazy walk: stay put with probability 1/(d+1).  Pure lock-step
+        # walks on a bipartite graph (an even ring) preserve the walkers'
+        # parity relative to each other, so non-lazy synchronous walkers
+        # starting on opposite colours would never co-locate.
+        port = self._rng.randrange(ctx.degree + 1)
+        if port < ctx.degree:
+            ctx.move(port)
+
+    def observed(self) -> Dict[str, Any]:
+        return {"node": self.node, "alive": self.alive}
+
+
+def _gathered(engine: TickEngine) -> bool:
+    alive = _alive(engine)
+    return bool(alive) and len({agent.node for agent in alive}) == 1
+
+
+@PROBLEMS.register("tick_gathering")
+def _run_tick_gathering(
+    spec: ScenarioSpec, graph: PortLabeledGraph, model: CostModel
+) -> RunRecord:
+    nodes = sorted(graph.nodes())
+    k = spec.team_size if spec.team_size is not None else 3
+    if k < 1:
+        raise ReproError("tick_gathering needs at least one agent")
+    if spec.starts is not None:
+        starts = list(spec.starts)
+        if len(starts) != k:
+            raise ReproError("tick_gathering needs one start node per agent")
+    else:
+        # Spread evenly, like the teams placement rule.
+        starts = [nodes[(index * graph.size) // k] for index in range(k)]
+    agents: List[TickAgent] = [
+        _WalkerAgent(index, start, spec.seed) for index, start in enumerate(starts)
+    ]
+    engine, config = build_tick_engine(spec, graph, agents)
+    result = engine.run(goal=_gathered)
+    alive = _alive(engine)
+    gathered = result.reason == "done"
+    meeting: Optional[int] = alive[0].node if gathered and alive else None
+    return _tick_record(
+        spec,
+        graph,
+        result,
+        config,
+        ok=gathered,
+        extra={
+            "gathered": gathered,
+            "meeting_node": meeting,
+            "alive": len(alive),
+            "team_size": k,
+        },
+    )

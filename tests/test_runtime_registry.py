@@ -88,6 +88,9 @@ class TestGlobalRegistries:
             "figures",
             "rendezvous",
             "teams",
+            "tick_gathering",
+            "tick_gossip",
+            "tick_leader",
         ]
 
     def test_cost_models_registered(self):
