@@ -42,15 +42,22 @@ def _load_results() -> dict:
     return {"history": history, "latest": dict(legacy)}
 
 
-def record_bench(name: str, seconds: float, cells: int | None = None) -> None:
+def record_bench(
+    name: str,
+    seconds: float,
+    cells: int | None = None,
+    extra: dict | None = None,
+) -> None:
     """Append one benchmark's metrics to the ``BENCH_results.json`` history.
 
     Each entry carries the wall time of the single measured run and, when
     the benchmark's result is sized (a sweep / experiment), the cell count
-    and throughput.  All ``record_bench`` calls of one process share one
-    timestamped history entry; re-running a benchmark within a session
-    updates its value in place, while a new session appends — earlier
-    sessions are never rewritten.
+    and throughput.  ``extra`` merges additional per-bench metrics into the
+    entry (e.g. the engine microbenchmark's lattice-ops-per-decision).  All
+    ``record_bench`` calls of one process share one timestamped history
+    entry; re-running a benchmark within a session updates its value in
+    place, while a new session appends — earlier sessions are never
+    rewritten.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     results = _load_results()
@@ -63,6 +70,8 @@ def record_bench(name: str, seconds: float, cells: int | None = None) -> None:
     if cells is not None:
         entry["cells"] = cells
         entry["cells_per_sec"] = round(cells / seconds, 3) if seconds > 0 else None
+    if extra:
+        entry.update(extra)
     history[-1]["benches"][name] = entry
     results["latest"][name] = entry
     BENCH_RESULTS.write_text(

@@ -33,7 +33,7 @@ from ..sim.engine import AgentSpec, AsyncEngine
 from ..sim.results import RunResult
 from ..sim.schedulers import RoundRobinScheduler, Scheduler
 from .labels import modified_label, validate_label
-from .trajectories import traj_A, traj_B, traj_K, traj_Omega
+from .trajectories import traj_A, traj_X, traj_Y
 
 __all__ = [
     "rv_route",
@@ -73,20 +73,28 @@ def rv_route(
     walk_tape = tape if tape is not None else Tape()
     obs = observation
     k = 1
+    # The repetition trajectories B, K and Ω are unrolled to their defining
+    # loops (B = Y repeated, K and Ω = X repeated) so the delegation chain
+    # stays as short as possible: every extra generator frame between here
+    # and the innermost walk is a resume paid per agent move.
     while True:
         limit = min(k, s)
         i = 1
         while i <= limit:
             if bits[i - 1] == 1:
+                reps_B = model.repetitions_B(2 * k)
                 for _ in range(2):
-                    obs = yield from traj_B(2 * k, model, walk_tape, obs)
+                    for _ in range(reps_B):
+                        obs = yield from traj_Y(2 * k, model, walk_tape, obs)
             else:
                 for _ in range(2):
                     obs = yield from traj_A(4 * k, model, walk_tape, obs)
             if limit > i:
-                obs = yield from traj_K(k, model, walk_tape, obs)
+                for _ in range(model.repetitions_K(k)):
+                    obs = yield from traj_X(k, model, walk_tape, obs)
             else:
-                obs = yield from traj_Omega(k, model, walk_tape, obs)
+                for _ in range(model.repetitions_Omega(k)):
+                    obs = yield from traj_X(k, model, walk_tape, obs)
             i += 1
         k += 1
 
@@ -104,6 +112,9 @@ class RendezvousController(AgentController):
         self._model = model if model is not None else default_cost_model()
         self.public["label"] = label
         self.public["algorithm"] = "RV-asynch-poly"
+        # The public dict is written only here, so the version never moves;
+        # the engine may share one meeting snapshot for the whole run.
+        self.public_version = 0
 
     @property
     def model(self) -> CostModel:

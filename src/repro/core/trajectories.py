@@ -44,8 +44,16 @@ from typing import Dict, List
 from ..exceptions import ExplorationError
 from ..exploration.cost_model import CostModel
 from ..exploration.uxs import next_port
-from ..exploration.walker import Tape, WalkProgram, backtrack, follow_exploration, step
-from ..sim.actions import Observation
+from ..exploration.walker import (
+    _MOVES,
+    _NO_ENTRY_PORT,
+    Tape,
+    WalkProgram,
+    backtrack,
+    follow_exploration,
+    step,
+)
+from ..sim.actions import Move, Observation
 
 __all__ = [
     "traj_R",
@@ -74,10 +82,34 @@ def traj_R(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgra
 
 
 def traj_X(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
-    """Follow ``X(k, ·) = R(k, ·)`` then backtrack (Definition 3.1)."""
-    mark = tape.mark()
-    obs = yield from traj_R(k, model, tape, obs)
-    obs = yield from backtrack(tape, mark, obs)
+    """Follow ``X(k, ·) = R(k, ·)`` then backtrack (Definition 3.1).
+
+    The bodies of ``follow_exploration`` and ``backtrack`` are inlined (same
+    arithmetic, same error messages, same tape protocol): X is the innermost
+    loop of the borders and fences, so every delegation frame here is a
+    resume paid on *every agent move*.  The golden equivalence suite and the
+    closed-form length tests pin the emitted walk.
+    """
+    moves = _MOVES
+    entry_ports = tape.entry_ports
+    mark = len(entry_ports)
+    entry = None
+    for increment in model.uxs_terms(k):
+        degree = obs.degree
+        if degree <= 0:
+            raise ExplorationError("cannot take a step from an isolated node")
+        port = (increment if entry is None else entry + increment) % degree
+        obs = yield moves[port] if 0 <= port < 64 else Move(port)
+        entry = obs.entry_port
+        if entry is None:
+            raise ExplorationError(_NO_ENTRY_PORT)
+        entry_ports.append(entry)
+    for port in reversed(entry_ports[mark:]):
+        obs = yield moves[port] if 0 <= port < 64 else Move(port)
+        entry = obs.entry_port
+        if entry is None:
+            raise ExplorationError(_NO_ENTRY_PORT)
+        entry_ports.append(entry)
     return obs
 
 
@@ -128,10 +160,68 @@ def traj_Y_prime(k: int, model: CostModel, tape: Tape, obs: Observation) -> Walk
 
 
 def traj_Y(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
-    """Follow ``Y(k, ·) = Y'(k, ·)`` then backtrack (Definition 3.3)."""
-    mark = tape.mark()
-    obs = yield from traj_Y_prime(k, model, tape, obs)
-    obs = yield from backtrack(tape, mark, obs)
+    """Follow ``Y(k, ·) = Y'(k, ·)`` then backtrack (Definition 3.3).
+
+    Flattened into one generator frame: ``Y`` sits directly under the ``B``
+    repetitions of RV-asynch-poly, so composing it out of
+    ``Y' -> trunk -> insertion -> Q -> X`` delegations (the literal reading
+    of the definition, kept in :func:`traj_Y_prime` for the structural API)
+    would cost five generator resumes per agent move.  The emitted walk is
+    identical — Definition 3.3 expanded: the trunk ``R(k, v)`` with a full
+    ``Q(k, ·) = X(1)..X(k)`` detour at every trunk node, then the reversal
+    of everything — and is pinned by the closed-form length tests.
+    """
+    moves = _MOVES
+    entry_ports = tape.entry_ports
+    uxs_terms = model.uxs_terms
+    mark = len(entry_ports)
+    trunk_entry: object = None
+    trunk_terms = list(uxs_terms(k))
+    for trunk_index in range(len(trunk_terms) + 1):
+        # Q(k, ·): X(1) X(2) ... X(k), each X = R(i) then its reversal.
+        for i in range(1, k + 1):
+            x_mark = len(entry_ports)
+            entry = None
+            for increment in uxs_terms(i):
+                degree = obs.degree
+                if degree <= 0:
+                    raise ExplorationError(
+                        "cannot take a step from an isolated node"
+                    )
+                port = (increment if entry is None else entry + increment) % degree
+                obs = yield moves[port] if 0 <= port < 64 else Move(port)
+                entry = obs.entry_port
+                if entry is None:
+                    raise ExplorationError(_NO_ENTRY_PORT)
+                entry_ports.append(entry)
+            for port in reversed(entry_ports[x_mark:]):
+                obs = yield moves[port] if 0 <= port < 64 else Move(port)
+                entry = obs.entry_port
+                if entry is None:
+                    raise ExplorationError(_NO_ENTRY_PORT)
+                entry_ports.append(entry)
+        if trunk_index == len(trunk_terms):
+            break
+        # One trunk step of R(k, v): port base is the trunk's own entry port.
+        increment = trunk_terms[trunk_index]
+        degree = obs.degree
+        if degree <= 0:
+            raise ExplorationError("cannot take a step from an isolated node")
+        port = (
+            increment if trunk_entry is None else trunk_entry + increment
+        ) % degree
+        obs = yield moves[port] if 0 <= port < 64 else Move(port)
+        trunk_entry = obs.entry_port
+        if trunk_entry is None:
+            raise ExplorationError(_NO_ENTRY_PORT)
+        entry_ports.append(trunk_entry)
+    # Reversal of the whole Y'(k, v) walk.
+    for port in reversed(entry_ports[mark:]):
+        obs = yield moves[port] if 0 <= port < 64 else Move(port)
+        entry = obs.entry_port
+        if entry is None:
+            raise ExplorationError(_NO_ENTRY_PORT)
+        entry_ports.append(entry)
     return obs
 
 
@@ -154,9 +244,25 @@ def traj_A_prime(k: int, model: CostModel, tape: Tape, obs: Observation) -> Walk
 
 
 def traj_A(k: int, model: CostModel, tape: Tape, obs: Observation) -> WalkProgram:
-    """Follow ``A(k, ·) = A'(k, ·)`` then backtrack (Definition 3.5)."""
+    """Follow ``A(k, ·) = A'(k, ·)`` then backtrack (Definition 3.5).
+
+    Like :func:`traj_Y`, flattened for depth rather than composed out of
+    ``A' -> trunk -> insertion -> Z`` delegations: the walk is the trunk
+    ``R(k, v)`` with a ``Z(k, ·) = Y(1)..Y(k)`` detour at every trunk node,
+    then the reversal of everything.  Each ``Y`` is the flat single-frame
+    generator above, so an agent inside an ``A`` is at most two frames below
+    the route generator.
+    """
     mark = tape.mark()
-    obs = yield from traj_A_prime(k, model, tape, obs)
+    trunk_entry: object = None
+    for increment in model.uxs_terms(k):
+        for i in range(1, k + 1):
+            obs = yield from traj_Y(i, model, tape, obs)
+        port = next_port(trunk_entry, increment, obs.degree)
+        obs = yield from step(tape, port)
+        trunk_entry = obs.entry_port
+    for i in range(1, k + 1):
+        obs = yield from traj_Y(i, model, tape, obs)
     obs = yield from backtrack(tape, mark, obs)
     return obs
 

@@ -101,8 +101,15 @@ class PseudoRandomUXS(UXSProvider):
         Global seed.  Different seeds give different (but individually fixed)
         sequence families.
 
-    The sequences are cached per ``k``; repeated queries are cheap.
+    The sequences are cached per ``k``, and additionally in a process-wide
+    cache keyed by the full parameterisation: a sequence is a pure function of
+    ``(seed, polynomial, k)``, and experiment sweeps build a fresh provider
+    per run, so without the shared cache every run regenerates the same
+    ``Θ(k³)`` streams.
     """
+
+    #: Process-wide memo shared by all equal-parameter providers.
+    _SHARED_CACHE: Dict[Tuple[int, int, int, int, int], Tuple[int, ...]] = {}
 
     def __init__(
         self,
@@ -130,9 +137,14 @@ class PseudoRandomUXS(UXSProvider):
         return self._coefficient * (k ** self._exponent) + self._offset
 
     def terms(self, k: int) -> Tuple[int, ...]:
-        if k not in self._cache:
-            self._cache[k] = tuple(self._generate(k))
-        return self._cache[k]
+        cached = self._cache.get(k)
+        if cached is None:
+            shared_key = (self._seed, self._coefficient, self._exponent, self._offset, k)
+            cached = self._SHARED_CACHE.get(shared_key)
+            if cached is None:
+                cached = self._SHARED_CACHE[shared_key] = tuple(self._generate(k))
+            self._cache[k] = cached
+        return cached
 
     def _generate(self, k: int) -> Iterator[int]:
         count = self.length(k)

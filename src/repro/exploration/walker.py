@@ -27,7 +27,6 @@ from typing import Generator, List, Optional, Sequence
 
 from ..exceptions import ExplorationError
 from ..sim.actions import Action, Move, Observation
-from .uxs import next_port
 
 __all__ = ["Tape", "step", "backtrack", "follow_exploration", "WalkProgram"]
 
@@ -60,16 +59,22 @@ class Tape:
         return self.entry_ports[mark:]
 
 
+#: Shared, effectively-immutable :class:`Move` actions for the small port
+#: numbers every realistic graph uses.  One agent step is one ``Move``; the
+#: cache keeps the per-step allocation off the engine's hot path.
+_MOVES = tuple(Move(port) for port in range(64))
+
+_NO_ENTRY_PORT = "engine returned an observation without an entry port after a move"
+
+
 def step(tape: Tape, port: int) -> WalkProgram:
     """Perform one edge traversal through ``port`` and record it on ``tape``.
 
     Returns the observation at the node reached.
     """
-    observation = yield Move(port)
+    observation = yield _MOVES[port] if 0 <= port < 64 else Move(port)
     if observation.entry_port is None:
-        raise ExplorationError(
-            "engine returned an observation without an entry port after a move"
-        )
+        raise ExplorationError(_NO_ENTRY_PORT)
     tape.entry_ports.append(observation.entry_port)
     return observation
 
@@ -83,9 +88,17 @@ def backtrack(tape: Tape, mark: int, observation: Observation) -> WalkProgram:
     reverse of ``A'(k)``, where ``A'`` internally contains reversals — behave
     exactly like the paper's definitions.
     """
+    # The body of :func:`step` is inlined: a sub-generator per move would
+    # dominate the cost of the move itself on the engine's hot path.
     ports = list(tape.slice_since(mark))
+    moves = _MOVES
+    entry_ports = tape.entry_ports
     for port in reversed(ports):
-        observation = yield from step(tape, port)
+        observation = yield moves[port] if 0 <= port < 64 else Move(port)
+        entry = observation.entry_port
+        if entry is None:
+            raise ExplorationError(_NO_ENTRY_PORT)
+        entry_ports.append(entry)
     return observation
 
 
@@ -107,9 +120,21 @@ def follow_exploration(
 
     Returns the observation at the final node of the walk.
     """
+    # Both :func:`repro.exploration.uxs.next_port` and :func:`step` are
+    # inlined (same arithmetic, same error messages): exploration walks are
+    # the bulk of every agent's moves, and a function call plus a
+    # sub-generator per move would double their cost.
     entry = initial_entry_port
+    moves = _MOVES
+    entry_ports = tape.entry_ports
     for increment in increments:
-        port = next_port(entry, increment, observation.degree)
-        observation = yield from step(tape, port)
+        degree = observation.degree
+        if degree <= 0:
+            raise ExplorationError("cannot take a step from an isolated node")
+        port = (increment if entry is None else entry + increment) % degree
+        observation = yield moves[port] if 0 <= port < 64 else Move(port)
         entry = observation.entry_port
+        if entry is None:
+            raise ExplorationError(_NO_ENTRY_PORT)
+        entry_ports.append(entry)
     return observation

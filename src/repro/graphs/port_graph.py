@@ -259,6 +259,17 @@ class PortLabeledGraph:
         """Return the neighbours of ``v`` in port order."""
         return [target for (target, _back) in self._adjacency[v]]
 
+    def adjacency(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+        """The validated adjacency table: node → ``(neighbour, entry_port)`` per port.
+
+        ``adjacency()[v][p]`` is exactly ``traverse(v, p)`` — the constructor
+        proved the two agree — as one dict lookup and one tuple index.  Hot
+        loops (the engine's action handler, the stand-alone ESST driver)
+        resolve ports through this table instead of paying per-step validation.
+        The tuples are immutable; callers must treat the dict as read-only.
+        """
+        return self._adjacency
+
     def _half_edge(self, v: int, port: int) -> _HalfEdge:
         if v not in self._adjacency:
             raise GraphError(f"unknown node {v}")

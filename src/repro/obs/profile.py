@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-__all__ = ["format_profile", "engine_coverage"]
+__all__ = ["format_profile", "engine_coverage", "apply_breakdown"]
 
 #: Spans that partition the engine loop (children of ``engine.run``).
 ENGINE_CHILD_SPANS = (
@@ -20,6 +20,15 @@ ENGINE_CHILD_SPANS = (
     "scheduler.decide",
     "engine.apply",
     "engine.check_termination",
+)
+
+#: Spans that break down ``engine.apply``: the sweep over the traversed
+#: edge's occupants versus the neighbor-index/lattice maintenance.  Whatever
+#: apply time neither covers (action dispatch, program driving) is reported
+#: as ``other``.
+APPLY_CHILD_SPANS = (
+    "engine.apply.sweep",
+    "engine.apply.index",
 )
 
 
@@ -42,6 +51,28 @@ def engine_coverage(trace: Mapping[str, Any]) -> Optional[float]:
         spans.get(name, {}).get("seconds", 0.0) for name in ENGINE_CHILD_SPANS
     )
     return attributed / total
+
+
+def apply_breakdown(trace: Mapping[str, Any]) -> Optional[Dict[str, float]]:
+    """Split ``engine.apply`` seconds into sweep, index maintenance and rest.
+
+    Returns ``{"sweep": s, "index": s, "other": s, "total": s}`` — ``other``
+    is the apply time spent outside the two instrumented phases (decision
+    validation, driving the agent program, meeting emission).  ``None`` when
+    the trace holds no ``engine.apply`` span.
+    """
+    spans = _spans_of(trace)
+    total = spans.get("engine.apply", {}).get("seconds")
+    if total is None:
+        return None
+    sweep = spans.get("engine.apply.sweep", {}).get("seconds", 0.0)
+    index = spans.get("engine.apply.index", {}).get("seconds", 0.0)
+    return {
+        "sweep": sweep,
+        "index": index,
+        "other": max(0.0, total - sweep - index),
+        "total": total,
+    }
 
 
 def format_profile(trace: Mapping[str, Any], root: str = "run") -> str:
@@ -89,6 +120,15 @@ def format_profile(trace: Mapping[str, Any], root: str = "run") -> str:
         lines.append(
             f"engine coverage: {100.0 * coverage:.1f}% of engine.run attributed "
             f"to {', '.join(ENGINE_CHILD_SPANS)}"
+        )
+    breakdown = apply_breakdown(trace)
+    if breakdown is not None and breakdown["total"] > 0:
+        total_apply = breakdown["total"]
+        lines.append(
+            "engine.apply breakdown: "
+            f"sweep {100.0 * breakdown['sweep'] / total_apply:.1f}%, "
+            f"index maintenance {100.0 * breakdown['index'] / total_apply:.1f}%, "
+            f"other {100.0 * breakdown['other'] / total_apply:.1f}%"
         )
 
     counters = trace.get("counters", {})

@@ -13,7 +13,6 @@ participants' public state; see :mod:`repro.sim.agent`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 __all__ = [
@@ -92,22 +91,50 @@ class Observation(NamedTuple):
     traversals: int = 0
 
 
-@dataclass(frozen=True)
 class AgentSnapshot:
     """Public view of one agent at the instant of a meeting.
 
     ``public`` is a *copy* of the mutable public state the agent's controller
     exposes (its label, its bag, its state in Algorithm SGL, ...).  Mutating
     the copy has no effect on the owner.
+
+    Snapshots sit on the engine's meeting hot path (one per participant per
+    meeting), so this is a plain ``__slots__`` class rather than a dataclass;
+    treat instances as immutable — the engine shares one snapshot between
+    consecutive meetings while the underlying public state is unchanged.
     """
 
-    name: str
-    label: Optional[int]
-    status: str
-    public: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("name", "label", "status", "public")
+
+    def __init__(
+        self,
+        name: str,
+        label: Optional[int],
+        status: str,
+        public: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.label = label
+        self.status = status
+        self.public = {} if public is None else public
+
+    def __repr__(self) -> str:
+        return (
+            f"AgentSnapshot(name={self.name!r}, label={self.label!r}, "
+            f"status={self.status!r}, public={self.public!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not AgentSnapshot:
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.label == other.label
+            and self.status == other.status
+            and self.public == other.public
+        )
 
 
-@dataclass(frozen=True)
 class MeetingEvent:
     """A coincidence of two or more agents at one point of the embedding.
 
@@ -129,11 +156,39 @@ class MeetingEvent:
         of the meeting; this is the paper's cost measure.
     """
 
-    participants: Tuple[AgentSnapshot, ...]
-    node: Optional[int]
-    edge: Optional[Tuple[int, int]]
-    decision_index: int
-    total_traversals: int
+    __slots__ = ("participants", "node", "edge", "decision_index", "total_traversals")
+
+    def __init__(
+        self,
+        participants: Tuple[AgentSnapshot, ...],
+        node: Optional[int],
+        edge: Optional[Tuple[int, int]],
+        decision_index: int,
+        total_traversals: int,
+    ) -> None:
+        self.participants = participants
+        self.node = node
+        self.edge = edge
+        self.decision_index = decision_index
+        self.total_traversals = total_traversals
+
+    def __repr__(self) -> str:
+        return (
+            f"MeetingEvent(participants={self.participants!r}, node={self.node!r}, "
+            f"edge={self.edge!r}, decision_index={self.decision_index!r}, "
+            f"total_traversals={self.total_traversals!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not MeetingEvent:
+            return NotImplemented
+        return (
+            self.participants == other.participants
+            and self.node == other.node
+            and self.edge == other.edge
+            and self.decision_index == other.decision_index
+            and self.total_traversals == other.total_traversals
+        )
 
     def names(self) -> Tuple[str, ...]:
         """Names of the participants, in snapshot order."""

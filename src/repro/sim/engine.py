@@ -16,13 +16,27 @@ agent program only ever receives the degree of its current node, its entry
 port and its own traversal count.  All information exchange between agents
 happens through the meeting hooks of their controllers, mirroring the paper's
 "agents exchange information when they meet" rule of §4.
+
+Internally the decision loop is organised around two layers that keep its
+per-decision cost proportional to the *local* crowding of the traversed edge
+rather than the total number of agents (see docs/API.md, "Engine internals"):
+
+* a :class:`~repro.sim.neighbor_index.NeighborIndex` maps nodes and edges to
+  their occupants, so sweeps and safe-advance queries consult only agents on
+  (or at an endpoint of) the edge being traversed;
+* traversal progress is kept as an integer numerator/denominator pair and
+  compared against the per-edge lattice (:mod:`repro.sim.lattice`) by integer
+  cross-multiplication; :class:`~fractions.Fraction` objects are materialised
+  only where they become externally visible (positions, the scheduler view,
+  error messages), which is why every emitted record is byte-identical to the
+  pre-lattice engine's.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
 from ..exceptions import (
     CostLimitExceeded,
@@ -30,15 +44,16 @@ from ..exceptions import (
     SchedulerError,
     SimulationError,
 )
-from ..graphs.port_graph import EdgeKey, PortLabeledGraph, edge_key
+from ..graphs.port_graph import PortLabeledGraph
 from ..obs.trace import current_tracer
 from .actions import AgentSnapshot, MeetingEvent, Move, Observation, Stop
 from .agent import AgentController
+from .neighbor_index import NeighborIndex
 from .position import ONE as _ONE
 from .position import ZERO as _ZERO
 from .position import Position
 from .results import RunResult, StopReason
-from .schedulers import Advance, Decision, Scheduler, Wake
+from .schedulers import Advance, Decision, RoundRobinScheduler, Scheduler, Wake
 
 __all__ = ["AgentSpec", "AsyncEngine", "EngineView", "AgentStatus"]
 
@@ -77,20 +92,52 @@ class AgentSpec:
         return self.controller.name
 
 
-@dataclass
 class _PendingTraversal:
-    """An edge traversal an agent has committed to but not yet completed."""
+    """An edge traversal an agent has committed to but not yet completed.
 
-    from_node: int
-    to_node: int
-    edge: EdgeKey
-    exit_port: int
-    entry_port: int
-    progress: Fraction = _ZERO
+    Progress lives as the integer pair ``p_num / p_den`` (always the reduced
+    form of the last ``Advance`` target); the :attr:`progress` property
+    materialises the :class:`Fraction` on demand for the scheduler view and
+    for error messages.
+    """
+
+    __slots__ = (
+        "from_node",
+        "to_node",
+        "edge",
+        "exit_port",
+        "entry_port",
+        "forward",
+        "p_num",
+        "p_den",
+    )
+
+    def __init__(
+        self, from_node: int, to_node: int, exit_port: int, entry_port: int
+    ) -> None:
+        self.from_node = from_node
+        self.to_node = to_node
+        if from_node < to_node:
+            self.edge = (from_node, to_node)
+            self.forward = True
+        else:
+            self.edge = (to_node, from_node)
+            self.forward = False
+        self.exit_port = exit_port
+        self.entry_port = entry_port
+        self.p_num = 0
+        self.p_den = 1
+
+    @property
+    def progress(self) -> Fraction:
+        """Traversal progress as an exact fraction of the edge."""
+        if self.p_num == 0:
+            return _ZERO
+        return Fraction(self.p_num, self.p_den)
 
     def canonical_fraction(self, progress: Fraction) -> Fraction:
         """Convert traversal progress into the edge's canonical fraction."""
-        return progress if self.from_node == self.edge[0] else 1 - progress
+        return progress if self.forward else 1 - progress
 
 
 class _AgentState:
@@ -106,6 +153,9 @@ class _AgentState:
         "pending",
         "entry_port",
         "traversals",
+        "versioned",
+        "snap",
+        "snap_version",
     )
 
     def __init__(self, spec: AgentSpec, status: str, position: Position) -> None:
@@ -118,6 +168,14 @@ class _AgentState:
         self.pending: Optional[_PendingTraversal] = None
         self.entry_port: Optional[int] = None
         self.traversals = 0
+        # Controllers that maintain a ``public_version`` counter (bumped on
+        # every observable public-state change) let the engine reuse one
+        # meeting snapshot across meetings while nothing changed.
+        self.versioned = isinstance(
+            getattr(spec.controller, "public_version", None), int
+        )
+        self.snap: Optional[AgentSnapshot] = None
+        self.snap_version = -1
 
 
 class EngineView:
@@ -143,6 +201,20 @@ class EngineView:
             if state.status == AgentStatus.ACTIVE and state.pending is not None
         ]
 
+    def is_eligible(self, name: str) -> bool:
+        """Whether agent ``name`` may currently be advanced.
+
+        Membership test equivalent to ``name in eligible_agents()`` without
+        building the list — schedulers probing one candidate at a time (round
+        robin) stay O(1) per probe.
+        """
+        state = self._engine._agents.get(name)
+        return (
+            state is not None
+            and state.status == AgentStatus.ACTIVE
+            and state.pending is not None
+        )
+
     def is_dormant(self, name: str) -> bool:
         """Whether agent ``name`` is still dormant."""
         return self._engine._agent(name).status == AgentStatus.DORMANT
@@ -158,7 +230,7 @@ class EngineView:
     def agent_progress(self, name: str) -> Fraction:
         """Progress of the agent's committed traversal (0 if none)."""
         state = self._engine._agent(name)
-        return state.pending.progress if state.pending is not None else Fraction(0)
+        return state.pending.progress if state.pending is not None else _ZERO
 
     def agent_traversals(self, name: str) -> int:
         """Completed edge traversals of agent ``name``."""
@@ -228,6 +300,7 @@ class AsyncEngine:
         if on_cost_limit not in ("raise", "return"):
             raise SimulationError("on_cost_limit must be 'raise' or 'return'")
         self._graph = graph
+        self._adj = graph.adjacency()
         self._scheduler = scheduler
         self._rendezvous: Optional[Set[str]] = set(rendezvous) if rendezvous else None
         self._stop_when_all_output = stop_when_all_output
@@ -236,6 +309,13 @@ class AsyncEngine:
             max_decisions if max_decisions is not None else 64 * max_traversals + 4096
         )
         self._on_cost_limit = on_cost_limit
+
+        # Node positions are interned once: every arrival at a node and every
+        # arrival meeting reuses the same Position object.
+        self._node_pos: Dict[int, Position] = {
+            node: Position.at_node(node) for node in self._adj
+        }
+        self._index = NeighborIndex()
 
         self._agents: Dict[str, _AgentState] = {}
         for spec in agents:
@@ -249,8 +329,9 @@ class AsyncEngine:
             self._agents[spec.name] = _AgentState(
                 spec=spec,
                 status=AgentStatus.DORMANT if spec.dormant else AgentStatus.ACTIVE,
-                position=Position.at_node(spec.start_node),
+                position=self._node_pos[spec.start_node],
             )
+            self._index.set_node(spec.name, spec.start_node)
         if self._rendezvous is not None:
             unknown = self._rendezvous - set(self._agents)
             if unknown:
@@ -261,6 +342,18 @@ class AsyncEngine:
         self._tracer = current_tracer()
         self.total_traversals = 0
         self._decisions = 0
+        self._stopped = 0
+        self._dormant_count = sum(
+            1 for state in self._agents.values() if state.status == AgentStatus.DORMANT
+        )
+        # Output-termination checks run after every completed traversal; when
+        # no controller overrides ``has_output`` the check can read the
+        # ``output`` attribute directly instead of making a method call each.
+        self._output_states = list(self._agents.values())
+        self._fast_has_output = all(
+            type(state.controller).has_output is AgentController.has_output
+            for state in self._output_states
+        )
         self._meetings: List[MeetingEvent] = []
         self._goal_meeting: Optional[MeetingEvent] = None
         self._done = False
@@ -281,10 +374,28 @@ class AsyncEngine:
         """The read-only view handed to schedulers."""
         return self._view
 
+    @property
+    def neighbor_index(self) -> NeighborIndex:
+        """The occupancy index (read-only for tooling and tests)."""
+        return self._index
+
     def run(self) -> RunResult:
         """Run the simulation to completion and return the result."""
         if self._tracer is not None:
             return self._run_traced(self._tracer)
+        scheduler = self._scheduler
+        if (
+            type(scheduler) is RoundRobinScheduler
+            and not scheduler._wake_schedule
+            and (
+                scheduler._order is None
+                or (
+                    len(scheduler._order) == len(self._agents)
+                    and set(scheduler._order) == set(self._agents)
+                )
+            )
+        ):
+            return self._run_fast_round_robin(scheduler)
         self._bootstrap()
         while not self._done:
             self._check_passive_termination()
@@ -301,6 +412,272 @@ class AsyncEngine:
                 self._finish(StopReason.SCHEDULER_EXHAUSTED)
                 break
             self._apply(decision)
+        return self._build_result()
+
+    def _run_fast_round_robin(self, scheduler: RoundRobinScheduler) -> RunResult:
+        # Specialised main loop for the common adversary: an untraced round
+        # robin whose cycle covers exactly the engine's agents and that has no
+        # wake schedule.  Under it every decision is a *complete* traversal,
+        # so no agent is ever strictly inside an edge: the lattice frames stay
+        # empty, the only possible coincidences are arrival meetings, and the
+        # index degenerates to its node buckets.  The loop below replays,
+        # inline, exactly the decision sequence the generic loop produces with
+        # the same scheduler — including the cursor bookkeeping on the
+        # scheduler object — which is what keeps every record byte-identical
+        # (the golden equivalence suite pins this against the fixtures).
+        self._bootstrap()
+        agents = self._agents
+        if scheduler._order is None:
+            scheduler._order = sorted(agents)
+        states = [agents[name] for name in scheduler._order]
+        n = len(states)
+        active = AgentStatus.ACTIVE
+        adj = self._adj
+        node_pos = self._node_pos
+        index = self._index
+        # Every agent sits at a node for the whole run (complete advances
+        # only), so occupancy is tracked in a flat node array aligned with
+        # ``states`` — comparing ints replaces the per-decision churn on the
+        # index's bucket maps — and the index is rebuilt, consistent, on the
+        # way out.  ``nodes[j]`` mirrors exactly what the bucket maps would
+        # say: an agent occupies its node from placement until its own next
+        # traversal completes, whatever its status.
+        nodes = [st.position.node for st in states]
+        agent_names = [st.name for st in states]
+        max_decisions = self._max_decisions
+        max_traversals = self._max_traversals
+        check_output = self._stop_when_all_output
+        fast_output = self._fast_has_output
+        output_states = self._output_states
+        tuple_new = tuple.__new__
+        observation_cls = Observation
+        snapshot_cls = AgentSnapshot
+        meeting_cls = MeetingEvent
+        meetings_append = self._meetings.append
+        no_rendezvous = self._rendezvous is None
+        cursor = scheduler._cursor
+        # The three monotone counters live in locals and are flushed to the
+        # engine before any call that can observe them (and in the finally).
+        decisions = self._decisions
+        total_traversals = self.total_traversals
+        index_updates = index.updates
+        try:
+            while not self._done:
+                if self._stopped == n:
+                    self._finish(StopReason.ALL_STOPPED)
+                    break
+                if decisions >= max_decisions:
+                    raise SimulationError(
+                        f"scheduler exceeded the decision budget "
+                        f"({max_decisions}); it is probably making unbounded "
+                        "zero-progress decisions"
+                    )
+                # -- scheduler.decide(view), inlined for this adversary ------
+                # First probe outside the scan loop: under round-robin the
+                # next agent in order is almost always ready.
+                mover = cursor % n
+                state = states[mover]
+                if state.status == active and state.pending is not None:
+                    cursor += 1
+                else:
+                    state = None
+                    for i in range(1, n):
+                        j = (cursor + i) % n
+                        st = states[j]
+                        if st.status == active and st.pending is not None:
+                            cursor += i + 1
+                            state = st
+                            mover = j
+                            break
+                decisions += 1
+                if state is None:
+                    self._decisions = decisions
+                    self._finish(StopReason.SCHEDULER_EXHAUSTED)
+                    break
+                # -- apply the complete advance ------------------------------
+                pending = state.pending
+                to_node = pending.to_node
+                # The sweep of a complete advance with an empty frame: only
+                # the arrival meeting is possible.  Scanning every agent
+                # reproduces the bucket contents exactly — including the
+                # mover itself on a self-loop arrival (it still occupies the
+                # destination node).
+                # ``in``/``index``/``count`` scan the node array in C; the
+                # common no-meeting decision pays a single containment check.
+                if to_node in nodes:
+                    j = nodes.index(to_node)
+                    meet = [agent_names[j]]
+                    if nodes.count(to_node) > 1:
+                        for j in range(j + 1, n):
+                            if nodes[j] == to_node:
+                                meet.append(agent_names[j])
+                else:
+                    meet = None
+                if meet is not None:
+                    if len(meet) > 1:
+                        meet.sort()
+                    if (
+                        no_rendezvous
+                        and self._dormant_count == 0
+                        and nodes[mover] != to_node
+                    ):
+                        # _emit_meeting, inlined for the dominant case: no
+                        # rendezvous target, nobody dormant, not a self-loop
+                        # (so the mover is not among the occupants and no
+                        # dedup is needed).  The event reads the counter
+                        # locals directly, so no flush is required unless a
+                        # callee observes engine state.
+                        if len(meet) == 1:
+                            pstates = (state, agents[meet[0]])
+                        else:
+                            pstates = [state]
+                            for m in meet:
+                                pstates.append(agents[m])
+                        snaps = []
+                        for st in pstates:
+                            controller = st.controller
+                            if st.versioned:
+                                version = controller.public_version
+                                snap = st.snap
+                                if (
+                                    snap is None
+                                    or st.snap_version != version
+                                    or snap.status != st.status
+                                ):
+                                    snap = snapshot_cls(
+                                        st.name,
+                                        controller.label,
+                                        st.status,
+                                        controller.public_snapshot(),
+                                    )
+                                    st.snap = snap
+                                    st.snap_version = version
+                            else:
+                                snap = snapshot_cls(
+                                    st.name,
+                                    controller.label,
+                                    st.status,
+                                    controller.public_snapshot(),
+                                )
+                            snaps.append(snap)
+                        event = meeting_cls(
+                            participants=tuple(snaps),
+                            node=to_node,
+                            edge=None,
+                            decision_index=decisions,
+                            total_traversals=total_traversals,
+                        )
+                        meetings_append(event)
+                        for st in pstates:
+                            st.controller.on_meeting(event)
+                        if check_output:
+                            if fast_output:
+                                for st in output_states:
+                                    if st.controller.output is None:
+                                        break
+                                else:
+                                    self._output_cost = total_traversals
+                                    self._finish(StopReason.ALL_OUTPUT)
+                                    break
+                            else:
+                                self._decisions = decisions
+                                self.total_traversals = total_traversals
+                                self._check_output_termination()
+                                if self._done:
+                                    break
+                    else:
+                        self._decisions = decisions
+                        self.total_traversals = total_traversals
+                        self._emit_meeting(
+                            [state.name] + meet, node_pos[to_node]
+                        )
+                        if self._done:
+                            break
+                if total_traversals >= max_traversals:
+                    self._decisions = decisions
+                    self.total_traversals = total_traversals
+                    self._handle_cost_limit()
+                    break
+                # -- complete the traversal ----------------------------------
+                state.pending = None
+                name = state.name
+                nodes[mover] = to_node
+                index_updates += 1
+                entry = pending.entry_port
+                state.entry_port = entry
+                tr = state.traversals + 1
+                state.traversals = tr
+                total_traversals += 1
+                # -- drive the agent's program one step ----------------------
+                program = state.program
+                if program is not None and state.status == active:
+                    row = adj[to_node]
+                    degree = len(row)
+                    try:
+                        action = program.send(
+                            tuple_new(observation_cls, (degree, entry, tr))
+                        )
+                    except StopIteration:
+                        self._stop_agent(state)
+                    else:
+                        if action.__class__ is Move:
+                            port = action.port
+                            if 0 <= port < degree:
+                                target, entry_port = row[port]
+                                if to_node < target:
+                                    pending.edge = (to_node, target)
+                                    pending.forward = True
+                                else:
+                                    pending.edge = (target, to_node)
+                                    pending.forward = False
+                                pending.from_node = to_node
+                                pending.to_node = target
+                                pending.exit_port = port
+                                pending.entry_port = entry_port
+                                pending.p_num = 0
+                                pending.p_den = 1
+                                state.pending = pending
+                            else:
+                                raise ProtocolError(
+                                    f"agent {name!r} chose port {port} at a "
+                                    f"node of degree {degree}"
+                                )
+                        else:
+                            self._handle_action(state, action)
+                if check_output and not self._done:
+                    if fast_output:
+                        for st in output_states:
+                            if st.controller.output is None:
+                                break
+                        else:
+                            self._output_cost = total_traversals
+                            self._finish(StopReason.ALL_OUTPUT)
+                    else:
+                        self._decisions = decisions
+                        self.total_traversals = total_traversals
+                        self._check_output_termination()
+        finally:
+            self._decisions = decisions
+            self.total_traversals = total_traversals
+            scheduler._cursor = cursor
+            # Re-sync the index with the node array so post-run queries see
+            # exactly the state incremental maintenance would have left.
+            node_occupants = index.node_occupants
+            where = index._where
+            node_occupants.clear()
+            for j, st in enumerate(states):
+                node = nodes[j]
+                # Positions are tracked only in the node array while the loop
+                # runs (nothing inside reads ``state.position``); materialise
+                # the interned Position objects on the way out.
+                st.position = node_pos[node]
+                occ = node_occupants.get(node)
+                if occ is None:
+                    node_occupants[node] = {st.name}
+                else:
+                    occ.add(st.name)
+                where[st.name] = node
+            index.updates = index_updates
         return self._build_result()
 
     def _run_traced(self, tracer) -> RunResult:
@@ -341,6 +718,8 @@ class AsyncEngine:
             tracer.count("engine.decisions", self._decisions)
             tracer.count("engine.traversals", self.total_traversals)
             tracer.count("engine.meetings", len(self._meetings))
+            tracer.count("engine.index_updates", self._index.updates)
+            tracer.count("engine.lattice_rescales", self._index.rescales())
 
     # ------------------------------------------------------------------
     # bootstrapping
@@ -348,12 +727,14 @@ class AsyncEngine:
     def _bootstrap(self) -> None:
         # Report coincidences that exist before anybody moves (agents are
         # normally placed at distinct nodes, but tests may co-locate them).
-        positions: Dict[Position, List[str]] = {}
+        # Initial positions are always nodes, so grouping by node id is
+        # grouping by position.
+        by_node: Dict[int, List[str]] = {}
         for state in self._agents.values():
-            positions.setdefault(state.position, []).append(state.name)
-        for position, names in positions.items():
+            by_node.setdefault(state.position.node, []).append(state.name)
+        for node, names in by_node.items():
             if len(names) >= 2:
-                self._emit_meeting(names, position)
+                self._emit_meeting(names, self._node_pos[node])
                 if self._done:
                     return
         for state in self._agents.values():
@@ -365,7 +746,16 @@ class AsyncEngine:
     # decision handling
     # ------------------------------------------------------------------
     def _apply(self, decision: Decision) -> None:
-        if isinstance(decision, Wake):
+        cls = decision.__class__
+        if cls is Advance:
+            if self._tracer is not None:
+                self._tracer.count("engine.advance_decisions")
+            self._apply_advance(decision)
+        elif cls is Wake:
+            if self._tracer is not None:
+                self._tracer.count("engine.wake_decisions")
+            self._apply_wake(decision)
+        elif isinstance(decision, Wake):
             if self._tracer is not None:
                 self._tracer.count("engine.wake_decisions")
             self._apply_wake(decision)
@@ -391,16 +781,30 @@ class AsyncEngine:
                 f"(status={state.status}, committed={state.pending is not None})"
             )
         pending = state.pending
-        target = decision.to if isinstance(decision.to, Fraction) else Fraction(decision.to)
-        if target <= pending.progress or target > _ONE:
+        target = decision.to
+        if target.__class__ is not Fraction and not isinstance(target, Fraction):
+            target = Fraction(target)
+        t_num = target.numerator
+        t_den = target.denominator
+        p_num = pending.p_num
+        p_den = pending.p_den
+        # target <= progress  ⇔  t_num * p_den <= p_num * t_den;
+        # target > 1          ⇔  t_num > t_den.
+        if t_num * p_den <= p_num * t_den or t_num > t_den:
             raise SchedulerError(
                 f"illegal advance of {decision.agent!r} from {pending.progress} "
                 f"to {target}"
             )
-        self._sweep(state, pending, pending.progress, target)
+        tracer = self._tracer
+        if tracer is not None:
+            t0 = tracer.clock()
+            self._sweep(state, pending, p_num, p_den, t_num, t_den)
+            tracer.add_span("engine.apply.sweep", t0)
+        else:
+            self._sweep(state, pending, p_num, p_den, t_num, t_den)
         if self._done:
             return
-        if target == _ONE:
+        if t_num == t_den:
             if self.total_traversals >= self._max_traversals:
                 # Completing this traversal would push the total past the
                 # budget, so the budget is exhausted *now*: the run ends with
@@ -410,13 +814,20 @@ class AsyncEngine:
                 # inside an edge — remain possible at exactly the budget.
                 self._handle_cost_limit()
                 return
-            pending.progress = target
+            pending.p_num = t_num
+            pending.p_den = t_den
             self._complete_traversal(state)
         else:
-            pending.progress = target
-            state.position = Position.on_edge(
-                pending.edge, pending.canonical_fraction(target)
-            )
+            pending.p_num = t_num
+            pending.p_den = t_den
+            c_num = t_num if pending.forward else t_den - t_num
+            if tracer is not None:
+                t0 = tracer.clock()
+                fraction = self._index.set_edge(state.name, pending.edge, c_num, t_den)
+                tracer.add_span("engine.apply.index", t0)
+            else:
+                fraction = self._index.set_edge(state.name, pending.edge, c_num, t_den)
+            state.position = Position.interior(pending.edge, fraction)
 
     # ------------------------------------------------------------------
     # movement mechanics
@@ -425,49 +836,88 @@ class AsyncEngine:
         self,
         mover: _AgentState,
         pending: _PendingTraversal,
-        start: Fraction,
-        end: Fraction,
+        p_num: int,
+        p_den: int,
+        t_num: int,
+        t_den: int,
     ) -> None:
-        """Detect and process every coincidence produced by the advance."""
+        """Detect and process every coincidence produced by the advance.
+
+        Only the traversed edge's occupants can coincide with the mover:
+        interior occupants come from the edge's lattice frame, arrival
+        meetings from the destination node's occupant set.  Origin-node
+        occupants sit at progress 0 and can never satisfy
+        ``start < progress``, so they are not even examined.  All progress
+        comparisons are integer cross-multiplications.
+        """
+        index = self._index
+        edge = pending.edge
+        frame = index.frames.get(edge)
+        scanned = 0
+        hits: Optional[List] = None
+        den = 0
+        if frame is not None:
+            den = frame.den
+            forward = pending.forward
+            lo = p_num * den  # occupant d qualifies iff d * p_den > lo ...
+            hi = t_num * den  # ... and d * t_den <= hi
+            mover_name = mover.name
+            for name, num in frame.occupants.items():
+                if name == mover_name:
+                    continue
+                scanned += 1
+                d = num if forward else den - num
+                if d * p_den > lo and d * t_den <= hi:
+                    if hits is None:
+                        hits = []
+                    hits.append((d, name))
+        arrivals: Optional[List[str]] = None
+        if t_num == t_den:
+            occupants = index.node_occupants.get(pending.to_node)
+            if occupants:
+                scanned += len(occupants)
+                arrivals = sorted(occupants)
         if self._tracer is not None:
-            # One ``fraction_on`` evaluation per co-agent is the Fraction-op
-            # proxy this trace reports; the comparisons it feeds are O(1) more.
-            scanned = len(self._agents) - 1
+            # The legacy ``fraction_ops`` name now tallies lattice operations:
+            # one integer comparison pair per occupant examined.
             self._tracer.count("engine.sweep_calls")
             self._tracer.count("engine.sweep_agents_scanned", scanned)
             self._tracer.count("engine.fraction_ops", scanned)
-        encountered: List[Tuple[Fraction, str]] = []
-        edge = pending.edge
-        forward = pending.from_node == edge[0]
-        for other in self._agents.values():
-            if other is mover:
-                continue
-            fraction = other.position.fraction_on(edge)
-            if fraction is None:
-                continue
-            progress = fraction if forward else 1 - fraction
-            if start < progress <= end:
-                encountered.append((progress, other.name))
-        if not encountered:
+        if hits is None and arrivals is None:
             return
-        encountered.sort()
-        # Group the encounters by exact meeting point.
-        index = 0
-        while index < len(encountered) and not self._done:
-            progress = encountered[index][0]
-            names = [mover.name]
-            while index < len(encountered) and encountered[index][0] == progress:
-                names.append(encountered[index][1])
-                index += 1
-            canonical = pending.canonical_fraction(progress)
-            position = Position.on_edge(pending.edge, canonical)
-            self._emit_meeting(names, position)
+        if hits is not None:
+            hits.sort()
+            forward = pending.forward
+            mover_name = mover.name
+            i = 0
+            n = len(hits)
+            while i < n and not self._done:
+                d = hits[i][0]
+                names = [mover_name]
+                while i < n and hits[i][0] == d:
+                    names.append(hits[i][1])
+                    i += 1
+                c_num = d if forward else den - d
+                position = Position.interior(edge, frame.fraction(c_num))
+                self._emit_meeting(names, position)
+        if arrivals is not None and not self._done:
+            self._emit_meeting(
+                [mover.name] + arrivals, self._node_pos[pending.to_node]
+            )
 
     def _complete_traversal(self, state: _AgentState) -> None:
         pending = state.pending
         assert pending is not None
         state.pending = None
-        state.position = Position.at_node(pending.to_node)
+        to_node = pending.to_node
+        tracer = self._tracer
+        if tracer is not None:
+            t0 = tracer.clock()
+            self._index.set_node(state.name, to_node)
+            tracer.add_span("engine.apply.index", t0)
+        else:
+            self._index.set_node(state.name, to_node)
+        state.position = self._node_pos[to_node]
         state.entry_port = pending.entry_port
         state.traversals += 1
         self.total_traversals += 1
@@ -478,51 +928,90 @@ class AsyncEngine:
 
     def _max_safe_advance(self, name: str) -> Optional[Fraction]:
         state = self._agent(name)
-        if state.pending is None:
+        pending = state.pending
+        if pending is None:
             return None
+        index = self._index
+        frame = index.frames.get(pending.edge)
+        p_num = pending.p_num
+        p_den = pending.p_den
+        scanned = 0
+        nearest_d: Optional[int] = None
+        den = 0
+        if frame is not None:
+            den = frame.den
+            forward = pending.forward
+            lo = p_num * den  # occupant d is an obstacle iff d * p_den > lo
+            mover_name = state.name
+            for oname, num in frame.occupants.items():
+                if oname == mover_name:
+                    continue
+                scanned += 1
+                d = num if forward else den - num
+                if d * p_den > lo and (nearest_d is None or d < nearest_d):
+                    nearest_d = d
+        destination = index.node_occupants.get(pending.to_node)
+        if destination:
+            scanned += len(destination)
         if self._tracer is not None:
-            scanned = len(self._agents) - 1
             self._tracer.count("engine.msa_calls")
             self._tracer.count("engine.msa_agents_scanned", scanned)
             self._tracer.count("engine.fraction_ops", scanned)
-        pending = state.pending
-        current = pending.progress
-        nearest: Optional[Fraction] = None
-        forward = pending.from_node == pending.edge[0]
-        for other in self._agents.values():
-            if other is state:
-                continue
-            fraction = other.position.fraction_on(pending.edge)
-            if fraction is None:
-                continue
-            progress = fraction if forward else 1 - fraction
-            if progress > current and (nearest is None or progress < nearest):
-                nearest = progress
-        if nearest is None:
-            return _ONE
-        return (current + nearest) / 2
+        if nearest_d is not None:
+            # Interior obstacles are strictly below 1, so the nearest interior
+            # occupant wins over any agent waiting at the destination node.
+            nearest = frame.fraction(nearest_d)
+            return (pending.progress + nearest) / 2
+        if destination:
+            return (pending.progress + 1) / 2
+        return _ONE
 
     # ------------------------------------------------------------------
     # meetings
     # ------------------------------------------------------------------
     def _emit_meeting(self, names: Iterable[str], position: Position) -> None:
-        participants: List[str] = list(dict.fromkeys(names))
+        agents = self._agents
+        if type(names) is list and len(names) == 2 and names[0] != names[1]:
+            # The dominant case — mover plus one occupant — needs no dedup.
+            participants: List[str] = names
+        else:
+            participants = list(dict.fromkeys(names))
+        states = [agents[name] for name in participants]
         # Wake dormant participants first: a visit to a dormant agent's start
         # node wakes it, and it takes part in the resulting exchange.
-        woken: List[_AgentState] = []
-        for name in participants:
-            state = self._agent(name)
-            if state.status == AgentStatus.DORMANT:
-                woken.append(state)
-        snapshots = tuple(
-            AgentSnapshot(
-                name=self._agent(name).name,
-                label=self._agent(name).controller.label,
-                status=self._agent(name).status,
-                public=self._agent(name).controller.public_snapshot(),
-            )
-            for name in participants
-        )
+        if self._dormant_count:
+            woken: List[_AgentState] = [
+                state for state in states if state.status == AgentStatus.DORMANT
+            ]
+        else:
+            woken = []
+        snaps: List[AgentSnapshot] = []
+        for state in states:
+            controller = state.controller
+            if state.versioned:
+                # ``public_version`` changes on every observable public-state
+                # change, so an unchanged (version, status) pair means the
+                # previous snapshot is still an exact copy and can be shared.
+                version = controller.public_version
+                snap = state.snap
+                if snap is None or state.snap_version != version or snap.status != state.status:
+                    snap = AgentSnapshot(
+                        state.name,
+                        controller.label,
+                        state.status,
+                        controller.public_snapshot(),
+                    )
+                    state.snap = snap
+                    state.snap_version = version
+            else:
+                snap = AgentSnapshot(
+                    state.name,
+                    controller.label,
+                    state.status,
+                    controller.public_snapshot(),
+                )
+            snaps.append(snap)
+        snapshots = tuple(snaps)
         event = MeetingEvent(
             participants=snapshots,
             node=position.node,
@@ -542,17 +1031,27 @@ class AsyncEngine:
             )
         for state in woken:
             self._wake(state, start_program=False)
-        for name in participants:
-            self._agent(name).controller.on_meeting(event)
+        for state in states:
+            state.controller.on_meeting(event)
         # Programs of freshly woken agents start only after the exchange, so
         # their first decision can already use the information received.
         for state in woken:
             if state.program is None and state.status == AgentStatus.ACTIVE:
                 self._start_program(state)
-        self._check_output_termination()
+        # _check_output_termination, inlined: meetings are the hot caller.
+        if self._stop_when_all_output and not self._done:
+            if self._fast_has_output:
+                for state in self._output_states:
+                    if state.controller.output is None:
+                        break
+                else:
+                    self._output_cost = self.total_traversals
+                    self._finish(StopReason.ALL_OUTPUT)
+            else:
+                self._check_output_termination()
         if (
             self._rendezvous is not None
-            and self._rendezvous.issubset(set(participants))
+            and self._rendezvous.issubset(participants)
             and not self._done
         ):
             self._goal_meeting = event
@@ -562,6 +1061,8 @@ class AsyncEngine:
     # agent program driving
     # ------------------------------------------------------------------
     def _wake(self, state: _AgentState, start_program: bool = True) -> None:
+        if state.status == AgentStatus.DORMANT:
+            self._dormant_count -= 1
         state.status = AgentStatus.ACTIVE
         state.controller.on_wake()
         if start_program and state.program is None:
@@ -590,45 +1091,46 @@ class AsyncEngine:
         self._handle_action(state, action)
 
     def _handle_action(self, state: _AgentState, action: Any) -> None:
-        if isinstance(action, Stop):
+        cls = action.__class__
+        if cls is Move:
+            pass
+        elif cls is Stop or isinstance(action, Stop):
             self._stop_agent(state)
             return
-        if not isinstance(action, Move):
+        elif not isinstance(action, Move):
             raise ProtocolError(
                 f"agent {state.name!r} yielded {action!r}; expected Move or Stop"
             )
-        if not state.position.is_at_node:
+        position = state.position
+        if position.node is None:
             raise SimulationError(
                 f"agent {state.name!r} asked to move while not at a node"
             )
-        node = state.position.node
-        degree = self._graph.degree(node)
-        if not (0 <= action.port < degree):
+        node = position.node
+        row = self._adj[node]
+        port = action.port
+        if not (0 <= port < len(row)):
             raise ProtocolError(
-                f"agent {state.name!r} chose port {action.port} at a node of "
-                f"degree {degree}"
+                f"agent {state.name!r} chose port {port} at a node of "
+                f"degree {len(row)}"
             )
-        target, entry_port = self._graph.traverse(node, action.port)
-        state.pending = _PendingTraversal(
-            from_node=node,
-            to_node=target,
-            edge=edge_key(node, target),
-            exit_port=action.port,
-            entry_port=entry_port,
-        )
+        target, entry_port = row[port]
+        state.pending = _PendingTraversal(node, target, port, entry_port)
 
     def _stop_agent(self, state: _AgentState) -> None:
+        if state.status != AgentStatus.STOPPED:
+            self._stopped += 1
         state.status = AgentStatus.STOPPED
         state.pending = None
 
     def _observe(self, state: _AgentState) -> Observation:
-        if not state.position.is_at_node:
+        position = state.position
+        if position.node is None:
             raise SimulationError(
                 f"cannot observe for agent {state.name!r}: not at a node"
             )
-        node = state.position.node
         return Observation(
-            degree=self._graph.degree(node),
+            degree=len(self._adj[position.node]),
             entry_port=state.entry_port,
             traversals=state.traversals,
         )
@@ -637,17 +1139,20 @@ class AsyncEngine:
     # termination
     # ------------------------------------------------------------------
     def _check_passive_termination(self) -> None:
-        for state in self._agents.values():
-            if state.status != AgentStatus.STOPPED:
-                return
-        self._finish(StopReason.ALL_STOPPED)
+        if self._stopped == len(self._agents):
+            self._finish(StopReason.ALL_STOPPED)
 
     def _check_output_termination(self) -> None:
         if not self._stop_when_all_output or self._done:
             return
-        for state in self._agents.values():
-            if not state.controller.has_output():
-                return
+        if self._fast_has_output:
+            for state in self._output_states:
+                if state.controller.output is None:
+                    return
+        else:
+            for state in self._output_states:
+                if not state.controller.has_output():
+                    return
         self._output_cost = self.total_traversals
         self._finish(StopReason.ALL_OUTPUT)
 

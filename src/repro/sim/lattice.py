@@ -1,0 +1,96 @@
+"""Per-edge integer lattices: exact edge fractions without Fraction arithmetic.
+
+The engine's hot loop asks one geometric question over and over: *which agents
+occupy a point of this edge, and in what order along it?*  Agent positions are
+exact rationals (see :mod:`repro.sim.position`), but almost every operation on
+them — sweeps, safe-advance queries, meeting grouping — only ever *compares*
+positions on a single edge.  An :class:`EdgeFrame` therefore stores the
+interior occupants of one edge as integer numerators over one common
+denominator (the lattice), so that
+
+* ordering and coincidence of occupants are single machine-int comparisons,
+* comparing an occupant against an arbitrary target fraction ``a/b`` is one
+  cross-multiplication (no normalisation, no allocation), and
+* :class:`~fractions.Fraction` objects are materialised only at *record
+  boundaries* — when a position or meeting point becomes externally visible —
+  and are memoised per numerator, so the gcd normalisation inside
+  ``Fraction.__new__`` is paid once per distinct lattice point.
+
+The lattice denominator grows by least-common-multiple refinement whenever an
+agent is parked at a fraction outside the current lattice (a *rescale*); all
+stored numerators are scaled by the same integer factor, so the represented
+rationals — and hence every record the engine emits — are unchanged.  Frames
+are dropped as soon as their edge empties, which keeps denominators from
+accumulating history and bounds memory by the number of concurrently occupied
+edges.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict
+
+__all__ = ["EdgeFrame"]
+
+
+class EdgeFrame:
+    """Integer lattice of the interior occupants of one edge.
+
+    Attributes
+    ----------
+    den:
+        The common denominator.  Every occupant fraction of the edge is
+        ``num / den`` with ``0 < num < den``, measured in the edge's canonical
+        orientation (from the endpoint with the smaller node id).
+    occupants:
+        Mapping ``agent name -> numerator``.
+    rescales:
+        How often the lattice was refined (for the engine's lattice-op
+        accounting).
+    """
+
+    __slots__ = ("den", "occupants", "rescales", "_fractions")
+
+    def __init__(self) -> None:
+        self.den = 1
+        self.occupants: Dict[str, int] = {}
+        self.rescales = 0
+        self._fractions: Dict[int, Fraction] = {}
+
+    def fit(self, den: int) -> None:
+        """Refine the lattice so that denominator ``den`` divides ``self.den``."""
+        mine = self.den
+        if mine % den == 0:
+            return
+        factor = den // gcd(mine, den)
+        self.den = mine * factor
+        self.occupants = {
+            name: num * factor for name, num in self.occupants.items()
+        }
+        self.rescales += 1
+        self._fractions.clear()
+
+    def place(self, name: str, num: int, den: int) -> int:
+        """Put ``name`` at canonical fraction ``num / den``; return its numerator.
+
+        The lattice is refined first if needed, so the stored numerator is
+        exact.  ``num / den`` need not be in lowest terms.
+        """
+        self.fit(den)
+        scaled = num * (self.den // den)
+        self.occupants[name] = scaled
+        return scaled
+
+    def fraction(self, num: int) -> Fraction:
+        """Materialise the canonical :class:`Fraction` of lattice point ``num``.
+
+        Memoised per numerator: ``Fraction(num, den)`` normalises to lowest
+        terms, so the returned value is exactly what the pre-lattice engine
+        computed for the same point.
+        """
+        cached = self._fractions.get(num)
+        if cached is None:
+            cached = Fraction(num, self.den)
+            self._fractions[num] = cached
+        return cached

@@ -59,6 +59,18 @@ class Position:
         return Position(node=node, edge=None, fraction=None)
 
     @staticmethod
+    def interior(edge: EdgeKey, fraction: Fraction) -> "Position":
+        """Unchecked constructor for a point *strictly inside* ``edge``.
+
+        The caller guarantees ``0 < fraction < 1`` in canonical orientation —
+        the engine's lattice layer (:mod:`repro.sim.lattice`) only hands out
+        interior fractions, so re-validating and re-normalising on every
+        parked agent would be pure overhead.  Use :meth:`on_edge` whenever the
+        fraction is not already proven interior.
+        """
+        return Position(node=None, edge=edge, fraction=fraction)
+
+    @staticmethod
     def on_edge(edge: EdgeKey, fraction: Fraction) -> "Position":
         """Return the point at ``fraction`` (from ``edge[0]``) on ``edge``.
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import SchedulerError
 from ..runtime.registry import SCHEDULERS
@@ -75,10 +75,18 @@ class Advance(Decision):
 #: Shared constant so that fair schedulers do not allocate a Fraction per decision.
 _ONE = Fraction(1)
 
+#: ``Advance(name, 1)`` is frozen and agent names are few, so the fair
+#: schedulers share one completion decision per agent instead of allocating
+#: one per decision.
+_COMPLETE_CACHE: Dict[str, Advance] = {}
+
 
 def complete(agent: str) -> Advance:
     """Shorthand for an :class:`Advance` that completes the traversal."""
-    return Advance(agent, _ONE)
+    decision = _COMPLETE_CACHE.get(agent)
+    if decision is None:
+        decision = _COMPLETE_CACHE[agent] = Advance(agent, _ONE)
+    return decision
 
 
 @dataclass(frozen=True)
@@ -100,6 +108,10 @@ class Scheduler:
 
     def __init__(self, wake_schedule: Optional[Dict[str, int]] = None) -> None:
         self._wake_schedule = dict(wake_schedule or {})
+        #: Sorted, still-dormant portion of the wake schedule (lazily built).
+        #: Woken agents never become dormant again, so pruning them preserves
+        #: the decision sequence while keeping the per-decision scan short.
+        self._wake_pending: Optional[List[Tuple[str, int]]] = None
 
     # ------------------------------------------------------------------
     def decide(self, view) -> Optional[Decision]:
@@ -115,10 +127,29 @@ class Scheduler:
 
     # ------------------------------------------------------------------
     def _pending_wake(self, view) -> Optional[Wake]:
-        for name, threshold in sorted(self._wake_schedule.items()):
-            if view.is_dormant(name) and view.total_traversals() >= threshold:
-                return Wake(name)
-        return None
+        schedule = self._wake_schedule
+        if not schedule:
+            return None
+        pending = self._wake_pending
+        if pending is None:
+            pending = self._wake_pending = sorted(schedule.items())
+        if not pending:
+            return None
+        total = view.total_traversals()
+        is_dormant = view.is_dormant
+        result: Optional[Wake] = None
+        prune = False
+        for name, threshold in pending:
+            if is_dormant(name):
+                if result is None and total >= threshold:
+                    result = Wake(name)
+                    if not prune:
+                        break
+            else:
+                prune = True
+        if prune:
+            self._wake_pending = [item for item in pending if is_dormant(item[0])]
+        return result
 
     @staticmethod
     def _sorted_eligible(view) -> List[str]:
@@ -138,6 +169,30 @@ class RoundRobinScheduler(Scheduler):
         self._cursor = 0
 
     def choose(self, view) -> Optional[Decision]:
+        is_eligible = getattr(view, "is_eligible", None)
+        if is_eligible is None:
+            return self._choose_scan(view)
+        if self._order is None:
+            self._order = sorted(view.agent_names())
+        order = self._order
+        n = len(order)
+        cursor = self._cursor
+        for i in range(n):
+            name = order[(cursor + i) % n]
+            if is_eligible(name):
+                self._cursor = cursor + i + 1
+                return complete(name)
+        # Nobody in the fixed cycle is eligible: either nobody is (the run is
+        # over for this adversary) or the eligible agents sit outside the
+        # cycle.  The cursor moves exactly as far as the probes above did.
+        eligible = view.eligible_agents()
+        if not eligible:
+            return None
+        self._cursor = cursor + n
+        return complete(sorted(eligible)[0])
+
+    def _choose_scan(self, view) -> Optional[Decision]:
+        # Fallback for minimal view objects without ``is_eligible``.
         eligible = set(view.eligible_agents())
         if not eligible:
             return None
@@ -275,7 +330,7 @@ class GreedyAvoidingScheduler(Scheduler):
         safe: List[str] = []
         blocked: List[str] = []
         for name in eligible:
-            if view.max_safe_advance(name) == Fraction(1):
+            if view.max_safe_advance(name) == _ONE:
                 safe.append(name)
             else:
                 blocked.append(name)

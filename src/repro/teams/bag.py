@@ -10,6 +10,13 @@ of the corresponding agent, so a bag is represented as a mapping
 ``label -> value`` (``None`` when the agent carries no value).  The public
 snapshot shared at meetings is an immutable tuple of ``(label, value)`` pairs
 sorted by label.
+
+Monotone growth makes two queries cacheable: the minimum label (labels are
+never removed, so the minimum only ever decreases at an insertion) and the
+public snapshot (rebuilt lazily after a mutation).  Both sit on the engine's
+meeting path — every meeting snapshots every participant and every SGL
+participant consults ``Min(W)`` — so the caches turn the per-meeting bag cost
+from sort-the-bag to amortised O(1).
 """
 
 from __future__ import annotations
@@ -23,33 +30,66 @@ __all__ = ["Bag", "BagSnapshot"]
 #: The immutable form of a bag that travels inside meeting snapshots.
 BagSnapshot = Tuple[Tuple[int, Any], ...]
 
+#: Sentinel distinguishing "label absent" from "label present with value None".
+_MISSING = object()
+
 
 class Bag:
     """A monotonically growing set of ``label -> value`` facts."""
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_min", "_snapshot")
 
     def __init__(self, initial: Optional[Dict[int, Any]] = None) -> None:
         self._entries: Dict[int, Any] = {}
+        self._min: Optional[int] = None
+        self._snapshot: Optional[BagSnapshot] = None
         if initial:
             for label, value in initial.items():
                 self.add(label, value)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(label: Any) -> None:
+        # Callers skip this for the fast path ``label.__class__ is int and
+        # label >= 1``; everything else (including bools, which would
+        # otherwise slip through ``label in entries`` as 0/1) lands here.
+        if not isinstance(label, int) or isinstance(label, bool) or label < 1:
+            raise LabelError(
+                f"bag labels must be strictly positive integers, got {label!r}"
+            )
+
     def add(self, label: int, value: Any = None) -> None:
         """Add one fact.  A known label keeps its value unless it was ``None``."""
-        if not isinstance(label, int) or isinstance(label, bool) or label < 1:
-            raise LabelError(f"bag labels must be strictly positive integers, got {label!r}")
-        if label not in self._entries or self._entries[label] is None:
-            self._entries[label] = value
+        if label.__class__ is not int or label < 1:
+            self._validate(label)
+        entries = self._entries
+        existing = entries.get(label, _MISSING)
+        if existing is _MISSING or (existing is None and value is not None):
+            entries[label] = value
+            self._snapshot = None
+            if self._min is None or label < self._min:
+                self._min = label
 
     def merge(self, items: Iterable[Tuple[int, Any]]) -> bool:
-        """Merge a snapshot (or any iterable of pairs); return whether the bag grew."""
+        """Merge a snapshot (or any iterable of pairs); return whether the bag grew.
+
+        "Grew" means the bag's content changed: some merged label was absent,
+        or present only as a valueless placeholder and now carries a value.
+        Re-merging a ``None`` value over a ``None`` placeholder is a no-op —
+        in particular it keeps the cached snapshot (and its identity) intact,
+        which is what lets a meeting hook skip already-seen peer bags.
+        """
         grew = False
+        entries = self._entries
         for label, value in items:
-            known = label in self._entries and self._entries[label] is not None
-            self.add(label, value)
-            if not known and (label in self._entries):
+            if label.__class__ is not int or label < 1:
+                self._validate(label)
+            existing = entries.get(label, _MISSING)
+            if existing is _MISSING or (existing is None and value is not None):
+                entries[label] = value
+                self._snapshot = None
+                if self._min is None or label < self._min:
+                    self._min = label
                 grew = True
         return grew
 
@@ -64,11 +104,16 @@ class Bag:
 
     def min_label(self) -> int:
         """Return the smallest label heard of (``Min(W)`` in the paper)."""
-        return min(self._entries)
+        if self._min is None:
+            return min(self._entries)
+        return self._min
 
     def snapshot(self) -> BagSnapshot:
         """Return the immutable form shared at meetings."""
-        return tuple(sorted(self._entries.items()))
+        cached = self._snapshot
+        if cached is None:
+            cached = self._snapshot = tuple(sorted(self._entries.items()))
+        return cached
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -86,6 +86,15 @@ class SGLController(AgentController):
         self._token_has_output = False
         self._flagged = False  # someone told us the complete set of labels
         self._bag_complete = False
+        #: Per-peer memo of the last meeting: ``name -> (agent snapshot,
+        #: is-our-token, token-had-output, bag snapshot)``.  The engine
+        #: shares one :class:`AgentSnapshot` object across meetings while a
+        #: peer's public state is unchanged, so an *identical* snapshot means
+        #: the whole exchange with that peer is a repeat — only the token
+        #: sighting (a count, not a state) needs recording.  Bag snapshots
+        #: are likewise identity-stable, so a changed snapshot with an
+        #: unchanged bag still skips the (idempotent) merge.
+        self._peer_seen: Dict[str, Tuple[Any, bool, bool, Any]] = {}
 
         self.public.update(
             {
@@ -96,6 +105,10 @@ class SGLController(AgentController):
                 "has_output": False,
             }
         )
+        #: Bumped on every observable change of :attr:`public`; the engine
+        #: uses it to share meeting snapshots across meetings (see
+        #: ``AsyncEngine._emit_meeting``).
+        self.public_version = 0
 
     # ------------------------------------------------------------------
     # public-state bookkeeping
@@ -111,10 +124,29 @@ class SGLController(AgentController):
         return self._token_label
 
     def _sync_public(self) -> None:
-        self.public["state"] = self.state
-        self.public["bag"] = self.bag.snapshot()
-        self.public["bag_complete"] = self._bag_complete
-        self.public["has_output"] = self.output is not None
+        # Change detection is by identity: states are module constants, bag
+        # snapshots are cached tuples whose identity changes exactly when the
+        # bag does, and the flags are bools.  The version therefore bumps iff
+        # an observable field actually changed, which is what lets the engine
+        # reuse meeting snapshots.
+        public = self.public
+        changed = False
+        if public["state"] is not self.state:
+            public["state"] = self.state
+            changed = True
+        snap = self.bag.snapshot()
+        if public["bag"] is not snap:
+            public["bag"] = snap
+            changed = True
+        if public["bag_complete"] is not self._bag_complete:
+            public["bag_complete"] = self._bag_complete
+            changed = True
+        has_output = self.output is not None
+        if public["has_output"] is not has_output:
+            public["has_output"] = has_output
+            changed = True
+        if changed:
+            self.public_version += 1
 
     def _set_state(self, state: str) -> None:
         self.state = state
@@ -123,7 +155,7 @@ class SGLController(AgentController):
     def _produce_output(self) -> None:
         if self.output is None:
             self.output = self.bag.snapshot()
-        self._sync_public()
+            self._sync_public()
 
     def _declare_bag_complete(self) -> None:
         self._bag_complete = True
@@ -134,45 +166,78 @@ class SGLController(AgentController):
     # meeting hook (information exchange of §4)
     # ------------------------------------------------------------------
     def on_meeting(self, event: MeetingEvent) -> None:
-        others = [snap for snap in event.participants if snap.name != self.name]
-        if not others:
+        participants = event.participants
+        if len(participants) < 2:
             return
-        # 1. merge every participant's bag into ours; pick up the flag.
-        for snap in others:
-            self.bag.merge(snap.public.get("bag", ()))
-            if snap.public.get("bag_complete"):
+        name = self._name
+        bag = self.bag
+        peer_seen = self._peer_seen
+        grew = False
+        token_seen = False
+        token_out = False
+        # 1+2 fused: merge every other participant's bag, pick up the
+        # completeness flag, and spot the token.  A peer whose snapshot is
+        # *identical* to the one from our previous meeting with it has an
+        # unchanged public state, so the whole exchange is a repeat — only
+        # the token sighting (a count, not a state) recurs.
+        for snap in participants:
+            peer_name = snap.name
+            if peer_name == name:
+                continue
+            cached = peer_seen.get(peer_name)
+            if cached is not None and cached[0] is snap:
+                if cached[1]:
+                    token_seen = True
+                    if cached[2]:
+                        token_out = True
+                continue
+            public = snap.public
+            peer_bag = public.get("bag", ())
+            if cached is None or cached[3] is not peer_bag:
+                if bag.merge(peer_bag):
+                    grew = True
+            if public.get("bag_complete"):
                 self._flagged = True
-
-        # 2. token sightings (used by the explorer's ESST and Phase 3).
-        if self._token_label is not None and self._token_tracker is not None:
-            token_snaps = [
-                snap
-                for snap in others
-                if snap.public.get("label") == self._token_label
-            ]
-            if token_snaps:
-                self._token_tracker.record_sighting(at_node=event.node is not None)
-                if any(
-                    snap.public.get("has_output") or snap.public.get("bag_complete")
-                    for snap in token_snaps
-                ):
+            is_token = (
+                self._token_label is not None
+                and public.get("label") == self._token_label
+            )
+            token_done = False
+            if is_token:
+                token_seen = True
+                if public.get("has_output") or public.get("bag_complete"):
+                    token_out = True
+                    token_done = True
+            peer_seen[peer_name] = (snap, is_token, token_done, peer_bag)
+        if token_seen:
+            tracker = self._token_tracker
+            if tracker is not None:
+                # record_sighting, inlined: explorers re-sight the token at
+                # nearly every meeting of the verification walks.
+                tracker.sightings += 1
+                tracker.last_was_at_node = event.node is not None
+                if token_out:
                     self._token_has_output = True
 
         # 3. traveller transition rules (applied once, at the first qualifying
         #    meeting; the program acts on them at the next node it reaches).
-        if self.state == TRAVELLER and self._pending_transition is None:
-            heard_smaller = any(
-                label < self.label
-                for snap in others
-                for (label, _value) in snap.public.get("bag", ())
-            )
+        state = self.state
+        if state == TRAVELLER and self._pending_transition is None:
+            # "Heard of a smaller label" is a post-merge bag query: while an
+            # agent is a traveller with no pending transition its own bag
+            # minimum is still its own label (any earlier meeting that merged
+            # a smaller label would have scheduled the ghost transition right
+            # there), so after step 1 the minimum dips below ``self.label``
+            # exactly when some other participant's bag held a smaller label.
+            heard_smaller = bag.min_label() < self.label
             if heard_smaller:
                 self._pending_transition = GHOST
             else:
                 non_explorers = [
                     snap
-                    for snap in others
-                    if snap.public.get("state") in (TRAVELLER, GHOST)
+                    for snap in participants
+                    if snap.name != name
+                    and snap.public.get("state") in (TRAVELLER, GHOST)
                 ]
                 if non_explorers:
                     self._pending_transition = EXPLORER
@@ -181,12 +246,19 @@ class SGLController(AgentController):
                     )
                     self._token_label = token.public.get("label")
                     self._token_tracker = TokenTracker()
+                    # The memo's is-token flags were computed before the
+                    # token existed; drop them so the next meeting with each
+                    # peer re-evaluates.
+                    self._peer_seen.clear()
 
         # 4. a ghost (or any agent that has already stopped) outputs as soon
         #    as it has been told its bag is complete.
-        if self._flagged and self.state == GHOST:
+        if self._flagged and state == GHOST:
             self._produce_output()
-        self._sync_public()
+        # ``on_meeting`` changes the public state only through bag growth or
+        # a fresh output (which syncs itself); anything else needs no sync.
+        if grew:
+            self._sync_public()
 
     # ------------------------------------------------------------------
     # the agent program
@@ -210,16 +282,18 @@ class SGLController(AgentController):
         if self._pending_transition != EXPLORER:
             rv_action = next(rv_gen)
             rv_started = True
+            rv_send = rv_gen.send
             while True:
                 obs = yield rv_action
                 rv_traversals += 1
-                if self._pending_transition == GHOST:
-                    self._become_ghost()
-                    return
-                if self._pending_transition == EXPLORER:
-                    saved_obs = obs
+                transition = self._pending_transition
+                if transition is not None:
+                    if transition == GHOST:
+                        self._become_ghost()
+                        return
+                    saved_obs = obs  # transition == EXPLORER
                     break
-                rv_action = rv_gen.send(obs)
+                rv_action = rv_send(obs)
         else:
             saved_obs = obs
 
