@@ -52,6 +52,18 @@ whose pieces may run on different machines::
     repro queue status --queue /shared/q    # add --json for machines
     repro store merge /shared/q/results/* --into .repro-store
 
+Watch the fleet while it runs (workers heartbeat into the queue's durable
+event journal), or replay the journal afterwards::
+
+    repro top --queue /shared/q             # live view; --once for scripts
+    repro tail --queue /shared/q            # the event stream; -f to follow
+
+Aggregate the traces a ``--trace``'d sweep persisted, or attribute the
+wall-time difference between two stored runs to named spans::
+
+    repro trace top --store .repro-store
+    repro trace diff KEY1 KEY2 --store .repro-store
+
 Serve the store, the experiment registry and the queue fabric over HTTP
 (GET /experiments/<name> renders with an ETag so warm clients get 304s;
 POST /sweeps dispatches onto the queue for workers to drain)::
@@ -92,8 +104,9 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.experiment_spec import (
     EXPERIMENTS,
@@ -104,6 +117,15 @@ from .analysis.experiment_spec import (
 from .analysis.render import FORMATS
 from .analysis.tables import format_table
 from .exceptions import ReproError
+from .obs.analytics import (
+    format_trace_diff,
+    format_trace_top,
+    load_traces,
+    trace_diff,
+    trace_of,
+    trace_top,
+)
+from .obs.events import fleet_summary, format_event, format_fleet
 from .obs.metrics import MetricsRegistry, enable_metrics, set_registry
 from .obs.profile import format_profile
 from .runtime import (
@@ -115,7 +137,7 @@ from .runtime import (
     ScenarioSpec,
     SweepSpec,
 )
-from .distrib import Dispatcher, Worker, WorkQueue
+from .distrib import DEFAULT_LEASE_TTL, Dispatcher, Worker, WorkQueue
 from .runtime.executors import make_executor, run_sweep
 from .runtime.runner import run
 from .serve import DEFAULT_PORT as SERVE_DEFAULT_PORT
@@ -450,6 +472,20 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--quiet", action="store_true", help="suppress per-unit progress lines"
     )
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between heartbeats (journal event + mid-unit lease "
+        "renewal; default: lease-ttl/3 capped at 15)",
+    )
+    worker.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="do not emit fleet events into QUEUE/journal (heartbeat-driven "
+        "lease renewal still happens)",
+    )
 
     queue_cmd = subparsers.add_parser(
         "queue", help="dispatch and inspect a distributed work queue"
@@ -481,6 +517,101 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the status counters as one JSON object (machine-readable)",
+    )
+    queue_status.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        help="staleness threshold: a worker whose heartbeat is older than "
+        f"this is flagged stale (default: {DEFAULT_LEASE_TTL:g})",
+    )
+
+    top = subparsers.add_parser(
+        "top", help="live fleet view of a work queue (workers, leases, ETA)"
+    )
+    top.add_argument(
+        "--queue", required=True, metavar="DIR", help="the work-queue directory"
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (for scripts and CI)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    top.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        help="staleness threshold for worker heartbeats "
+        f"(default: {DEFAULT_LEASE_TTL:g})",
+    )
+
+    tail = subparsers.add_parser(
+        "tail", help="print (and follow) a work queue's event journal"
+    )
+    tail.add_argument(
+        "--queue", required=True, metavar="DIR", help="the work-queue directory"
+    )
+    tail.add_argument(
+        "-f",
+        "--follow",
+        action="store_true",
+        help="keep streaming new events until interrupted",
+    )
+    tail.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print only the last N matching events (default: all)",
+    )
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="poll interval while following (default: 0.5)",
+    )
+    tail.add_argument("--type", default=None, help="only events of this type")
+    tail.add_argument("--worker", default=None, help="only events of this worker")
+    tail.add_argument("--unit", default=None, help="only events of this unit id")
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="cross-run trace analytics over a result store"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+
+    trace_diff_cmd = trace_sub.add_parser(
+        "diff",
+        help="attribute the wall-time delta between two traced runs to spans",
+    )
+    trace_diff_cmd.add_argument("key_a", metavar="KEY1", help="spec key (or unique prefix)")
+    trace_diff_cmd.add_argument("key_b", metavar="KEY2", help="spec key (or unique prefix)")
+    trace_diff_cmd.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE_DIR,
+        help=f"result store holding the traced records (default: {DEFAULT_STORE_DIR})",
+    )
+    trace_diff_cmd.add_argument(
+        "--limit", type=int, default=None, help="show only the top N components"
+    )
+
+    trace_top_cmd = trace_sub.add_parser(
+        "top", help="which spans dominate wall time across a store's traced runs"
+    )
+    trace_top_cmd.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE_DIR,
+        help=f"result store to aggregate (default: {DEFAULT_STORE_DIR})",
+    )
+    trace_top_cmd.add_argument(
+        "--limit", type=int, default=15, help="rows to show (default: 15)"
     )
 
     serve = subparsers.add_parser(
@@ -995,6 +1126,8 @@ def _run_worker(args: argparse.Namespace) -> int:
         poll=args.poll,
         max_units=args.max_units,
         progress=unit_progress,
+        heartbeat_interval=args.heartbeat,
+        journal=not args.no_journal,
     )
     totals = worker.run()
     print(
@@ -1023,10 +1156,18 @@ def _run_queue(args: argparse.Namespace) -> int:
         )
         return 0
     if args.queue_command == "status":
-        status = WorkQueue(args.queue).status()
+        queue = WorkQueue(args.queue)
+        status = queue.status()
+        workers = _worker_observability(queue, args.lease_ttl)
         drained = status["units"] == status["done"] + status["cancelled"]
         if args.json:
-            print(json.dumps({**status, "drained": drained}, indent=2, sort_keys=True))
+            print(
+                json.dumps(
+                    {**status, "drained": drained, "heartbeats": workers},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
             return 0 if drained else 1
         cancelled = (
             f", {status['cancelled']} cancelled" if status["cancelled"] else ""
@@ -1043,7 +1184,147 @@ def _run_queue(args: argparse.Namespace) -> int:
         print(
             f"leases: {status['steals']} stolen, {status['expired']} expired"
         )
+        for entry in workers:
+            stale = "  STALE (heartbeat older than the lease TTL)" if entry["stale"] else ""
+            last_event = (
+                f", last event {entry['last_event_age']:.0f}s ago"
+                if entry.get("last_event_age") is not None
+                else ""
+            )
+            print(
+                f"worker {entry['worker']}: heartbeat "
+                f"{entry['heartbeat_age']:.0f}s ago{last_event}{stale}"
+            )
         return 0 if drained else 1
+    return 2  # pragma: no cover (argparse enforces the sub-command)
+
+
+def _worker_observability(
+    queue: WorkQueue, lease_ttl: float, now: Optional[float] = None
+) -> List[Dict[str, Any]]:
+    """Per-worker heartbeat age / last-event timestamp / staleness rows.
+
+    The ``repro queue status`` (and ``--json``) observability section: one
+    entry per worker that ever heartbeat into the queue's journal, flagged
+    ``stale`` when the heartbeat is older than the lease TTL — the same
+    threshold after which the worker's leases become stealable.
+    """
+    now = time.time() if now is None else now
+    journal = queue.journal()
+    beats = journal.latest_heartbeats()
+    last_by_worker: Dict[str, float] = {}
+    for event in journal.events():
+        name = event.get("worker") or event.get("writer")
+        if name:
+            last_by_worker[name] = max(
+                last_by_worker.get(name, 0.0), float(event.get("ts", 0.0))
+            )
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(beats):
+        beat = beats[name]
+        beat_ts = float(beat.get("ts", 0.0))
+        age = max(0.0, now - beat_ts)
+        last_ts = last_by_worker.get(name)
+        rows.append(
+            {
+                "worker": name,
+                "heartbeat_ts": beat_ts,
+                "heartbeat_age": round(age, 3),
+                "last_event_ts": last_ts,
+                "last_event_age": (
+                    round(max(0.0, now - last_ts), 3) if last_ts else None
+                ),
+                "unit": beat.get("unit"),
+                "phase": beat.get("phase"),
+                "stale": age > lease_ttl,
+            }
+        )
+    return rows
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    queue = WorkQueue(args.queue)
+
+    def snapshot() -> str:
+        journal = queue.journal()
+        summary = fleet_summary(
+            queue.status(),
+            journal.latest_heartbeats(),
+            events=journal.events(),
+            lease_ttl=args.lease_ttl,
+        )
+        return format_fleet(summary)
+
+    if args.once:
+        print(snapshot())
+        return 0
+    try:
+        while True:  # pragma: no cover - interactive loop (CI uses --once)
+            print("\x1b[2J\x1b[H", end="")
+            print(f"repro top — {args.queue}  ({time.strftime('%H:%M:%S')})\n")
+            print(snapshot(), flush=True)
+            time.sleep(max(args.interval, 0.1))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
+
+
+def _run_tail(args: argparse.Namespace) -> int:
+    queue = WorkQueue(args.queue)
+    journal = queue.journal()
+    filters = {"type": args.type, "worker": args.worker, "unit": args.unit}
+    events = journal.events(**filters)
+    for event in events if args.limit is None else events[-args.limit :]:
+        print(format_event(event))
+    if not args.follow:
+        return 0
+    seen = {(event.get("writer"), event.get("seq")) for event in events}
+    try:
+        while True:  # pragma: no cover - interactive loop
+            time.sleep(max(args.interval, 0.05))
+            for event in journal.events(**filters):
+                stamp = (event.get("writer"), event.get("seq"))
+                if stamp not in seen:
+                    seen.add(stamp)
+                    print(format_event(event), flush=True)
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
+
+
+def _resolve_store_key(store: FileStore, key: str) -> str:
+    """Resolve a full spec key or a unique prefix against ``store``."""
+    if len(key) == 64 and store.get(key) is not None:
+        return key
+    hits = sorted(stored for stored in store.keys() if stored.startswith(key))
+    if not hits:
+        raise ReproError(f"no stored record matches key {key!r}")
+    if len(hits) > 1:
+        raise ReproError(f"key prefix {key!r} is ambiguous ({len(hits)} matches)")
+    return hits[0]
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "diff":
+        with FileStore(args.store, create=False) as store:
+            traces = []
+            for raw in (args.key_a, args.key_b):
+                key = _resolve_store_key(store, raw)
+                trace = trace_of(store.get(key))
+                if trace is None:
+                    raise ReproError(
+                        f"record {key[:12]}… holds no trace; re-run the cell "
+                        "with --trace (or a traced sweep) first"
+                    )
+                traces.append(trace)
+        print(format_trace_diff(trace_diff(*traces), limit=args.limit))
+        return 0
+    if args.trace_command == "top":
+        with FileStore(args.store, create=False) as store:
+            traced = load_traces(store)
+        if not traced:
+            print(f"no traced records in {args.store} (sweep with --trace first)")
+            return 1
+        print(format_trace_top(trace_top(traced, limit=args.limit)))
+        return 0
     return 2  # pragma: no cover (argparse enforces the sub-command)
 
 
@@ -1266,6 +1547,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _run_sweep,
         "worker": _run_worker,
         "queue": _run_queue,
+        "top": _run_top,
+        "tail": _run_tail,
+        "trace": _run_trace,
         "serve": _run_serve,
         "experiment": _run_experiment,
         "metrics": _run_metrics,

@@ -26,6 +26,14 @@ of machines that can see the directory — lease and execute them:
 Everything is plain files and atomic renames: no daemon, no broker, no
 network protocol — coordination happens only through shared state, and a
 restarted fleet converges to the exact record set a serial run produces.
+
+Observability: every fabric participant additionally emits structured
+events into the queue's durable journal (``<queue>/journal``, see
+:mod:`repro.obs.events`) — unit claims and steals, per-cell completions,
+worker heartbeats that double as mid-unit lease renewals — so a sweep's
+timeline is reconstructible after the fact (``repro tail``,
+``GET /events``) and watchable while it runs (``repro top``,
+``GET /fleet``).
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from __future__ import annotations
 from .dispatcher import Dispatcher
 from .executor import QueueExecutor
 from .queue import WorkQueue, WorkUnit, unit_id
-from .worker import Worker
+from .worker import DEFAULT_HEARTBEAT_CAP, DEFAULT_LEASE_TTL, Worker
 
 __all__ = [
     "Dispatcher",
@@ -42,4 +50,6 @@ __all__ = [
     "WorkUnit",
     "Worker",
     "unit_id",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_HEARTBEAT_CAP",
 ]

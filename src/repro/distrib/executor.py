@@ -72,6 +72,11 @@ class QueueExecutor(Executor):
         Upper bound in seconds for the whole drain once every local worker
         has exited; ``None`` waits forever (e.g. when external workers are
         expected to finish the queue).
+    journal:
+        Whether the dispatch and the spawned workers emit fleet events into
+        ``<queue>/journal``.  On by default; ``journal=False`` is the
+        measurement configuration (``benchmarks/bench_distrib_executors.py``
+        times both to bound the journal's overhead).
     """
 
     supports_trace = False
@@ -85,6 +90,7 @@ class QueueExecutor(Executor):
         lease_ttl: float = DEFAULT_LEASE_TTL,
         poll: float = 0.1,
         spawn_timeout: Optional[float] = 600.0,
+        journal: bool = True,
     ) -> None:
         if workers < 1:
             raise ReproError(f"queue executor needs at least one worker, got {workers}")
@@ -94,6 +100,7 @@ class QueueExecutor(Executor):
         self.lease_ttl = lease_ttl
         self.poll = poll
         self.spawn_timeout = spawn_timeout
+        self.journal = journal
 
     # ------------------------------------------------------------------
     # worker fleet
@@ -104,24 +111,27 @@ class QueueExecutor(Executor):
         for index in range(self.workers):
             worker_id = f"local-{os.getpid()}-{index}"
             log_path = queue.logs_root / f"{worker_id}.log"
+            argv = [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--queue",
+                str(queue.root),
+                "--worker-id",
+                worker_id,
+                "--lease-ttl",
+                str(self.lease_ttl),
+                "--poll",
+                str(max(self.poll, 0.05)),
+                "--quiet",
+            ]
+            if not self.journal:
+                argv.append("--no-journal")
             with log_path.open("w", encoding="utf-8") as log:
                 procs.append(
                     subprocess.Popen(
-                        [
-                            sys.executable,
-                            "-m",
-                            "repro",
-                            "worker",
-                            "--queue",
-                            str(queue.root),
-                            "--worker-id",
-                            worker_id,
-                            "--lease-ttl",
-                            str(self.lease_ttl),
-                            "--poll",
-                            str(max(self.poll, 0.05)),
-                            "--quiet",
-                        ],
+                        argv,
                         stdout=log,
                         stderr=subprocess.STDOUT,
                         env=env,
@@ -188,7 +198,9 @@ class QueueExecutor(Executor):
         if ephemeral:
             queue_root = Path(tempfile.mkdtemp(prefix="repro-queue-"))
         queue = WorkQueue(queue_root, create=True)
-        report = Dispatcher(queue, unit_size=self.unit_size).dispatch(specs)
+        report = Dispatcher(
+            queue, unit_size=self.unit_size, journal=self.journal
+        ).dispatch(specs)
         # Watch exactly this sweep's units: a reused queue directory may hold
         # other sweeps' units (finished or not), which are none of our business.
         unit_ids = report["unit_ids"]

@@ -9,6 +9,7 @@ Layout of a queue directory::
     ├── done/<id>.json         # completion: keys + executed/salvaged counts
     ├── results/<worker>/      # one FileStore per worker (its "shard")
     ├── logs/<worker>.log      # stdout/stderr of executor-spawned workers
+    ├── journal/               # durable event journal (repro.obs.events)
     └── .steal.lock            # advisory flock serialising lease steals
 
 Unit ids are **content keys**: the sha256 of the ordered cell-key list.  Two
@@ -47,6 +48,7 @@ except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
 
 from ..exceptions import QueueError
+from ..obs.events import JOURNAL_DIR_NAME, EventJournal
 from ..obs.metrics import get_registry
 from ..runtime.spec import SPEC_KEY_VERSION, ScenarioSpec, canonical_json
 
@@ -105,6 +107,7 @@ class WorkQueue:
 
     def __init__(self, root, *, create: bool = False) -> None:
         self.root = Path(root)
+        self._journal: Optional[EventJournal] = None
         meta = _read_json(self._meta_path)
         if meta is not None:
             if meta.get("format_version") != QUEUE_FORMAT_VERSION:
@@ -170,6 +173,43 @@ class WorkQueue:
         return sorted(path for path in self.results_root.iterdir() if path.is_dir())
 
     # ------------------------------------------------------------------
+    # event journal
+    # ------------------------------------------------------------------
+    @property
+    def journal_root(self) -> Path:
+        return self.root / JOURNAL_DIR_NAME
+
+    def journal(self) -> EventJournal:
+        """A read-only view of this queue's event journal."""
+        return EventJournal(self.journal_root)
+
+    @property
+    def attached_journal(self) -> Optional[EventJournal]:
+        """The writing journal attached to this handle, if any."""
+        return self._journal
+
+    def attach_journal(self, writer: str) -> EventJournal:
+        """Attach a writing journal: queue operations now emit fleet events.
+
+        Each process attaches under its own ``writer`` name (worker id,
+        ``dispatch-<pid>``, ``serve-<pid>``) so concurrent emitters never
+        share a shard.  Unattached queues emit nothing — journalling is
+        opt-in per handle, exactly like metrics.
+        """
+        if self._journal is None or self._journal.writer != writer:
+            if self._journal is not None:
+                self._journal.close()
+            self._journal = EventJournal(self.journal_root, writer=writer, create=True)
+        return self._journal
+
+    def _emit(self, type: str, **fields: Any) -> None:
+        """Best-effort event append: the journal never wedges the fleet."""
+        if self._journal is None:
+            return
+        with contextlib.suppress(OSError):
+            self._journal.append(type, **fields)
+
+    # ------------------------------------------------------------------
     # units
     # ------------------------------------------------------------------
     def add_unit(self, specs: Sequence[ScenarioSpec]) -> Tuple[str, bool]:
@@ -223,6 +263,15 @@ class WorkQueue:
 
     def write_done(self, uid: str, payload: Dict[str, Any]) -> None:
         _atomic_write_json(self.done_path(uid), payload)
+        self._emit(
+            "unit.cancelled" if payload.get("cancelled") else "unit.done",
+            unit=uid,
+            worker=payload.get("worker"),
+            **{
+                counter: int(payload.get(counter, 0))
+                for counter in ("total", "executed", "salvaged", "cached", "steals")
+            },
+        )
 
     # ------------------------------------------------------------------
     # claims / leases
@@ -294,12 +343,14 @@ class WorkQueue:
         )
         if self._create_claim(uid, worker, ttl, now):
             claims_total.inc(kind="fresh")
+            self._emit("unit.claim", unit=uid, worker=worker, kind="fresh", ts=now)
             return True
         claim = self.read_claim(uid)
         if claim is None:
             # Mid-steal by someone else, or vanished: race the fresh create.
             if self._create_claim(uid, worker, ttl, now):
                 claims_total.inc(kind="fresh")
+                self._emit("unit.claim", unit=uid, worker=worker, kind="fresh", ts=now)
                 return True
             return False
         if claim.get("worker") == worker:
@@ -319,6 +370,7 @@ class WorkQueue:
                 },
             )
             claims_total.inc(kind="reclaim")
+            self._emit("unit.claim", unit=uid, worker=worker, kind="reclaim", ts=now)
             return True
         if float(claim.get("expires", 0.0)) > now:
             return False
@@ -345,8 +397,54 @@ class WorkQueue:
                 "repro_queue_lease_expiries_total",
                 "Expired leases observed (and stolen) at claim time",
             ).inc()
+            self._emit("lease.expire", unit=uid, worker=victim, ts=now)
+            self._emit(
+                "unit.claim",
+                unit=uid,
+                worker=worker,
+                kind="steal",
+                stolen_from=victim,
+                ts=now,
+            )
             return True
         return False
+
+    def renew_claim(
+        self, uid: str, worker: str, ttl: float, now: Optional[float] = None
+    ) -> bool:
+        """Extend ``worker``'s live lease on ``uid``; the heartbeat's twin.
+
+        Only the current holder renews — anyone else (including the holder
+        after its lease was stolen) gets ``False`` and must re-claim.  The
+        rewrite preserves the steal provenance, so renewal never launders a
+        stolen unit's history.  This is what lets a unit longer than the
+        lease TTL finish instead of being stolen while alive (ROADMAP
+        item 4's long-unit half): the worker renews on every heartbeat.
+        """
+        now = time.time() if now is None else now
+        claim = self.read_claim(uid)
+        if claim is None or claim.get("worker") != worker:
+            return False
+        _atomic_write_json(
+            self.claim_path(uid),
+            {
+                "unit": uid,
+                "worker": worker,
+                "created": float(claim.get("created", now)),
+                "expires": now + ttl,
+                "steals": int(claim.get("steals", 0)),
+                **(
+                    {"stolen_from": claim["stolen_from"]}
+                    if claim.get("stolen_from")
+                    else {}
+                ),
+            },
+        )
+        get_registry().counter(
+            "repro_queue_lease_renewals_total", "Live leases extended mid-unit"
+        ).inc()
+        self._emit("lease.renew", unit=uid, worker=worker, expires=now + ttl, ts=now)
+        return True
 
     def release_claim(self, uid: str, worker: str) -> None:
         """Drop ``worker``'s lease on ``uid`` (no-op when not the holder)."""

@@ -16,25 +16,31 @@ converges to exactly the serial record set with every cell executed once.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import socket
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
-from ..exceptions import StoreError
+from ..exceptions import ReproError, StoreError
+from ..obs.events import EventJournal
 from ..obs.metrics import get_registry
 from ..runtime.executors import SerialExecutor, run_sweep
 from ..runtime.records import RunRecord
 from ..store.filestore import FileStore
 from .queue import WorkQueue, WorkUnit
 
-__all__ = ["Worker", "DEFAULT_LEASE_TTL"]
+__all__ = ["Worker", "DEFAULT_LEASE_TTL", "DEFAULT_HEARTBEAT_CAP"]
 
-#: Default lease duration.  Must exceed the wall time of one work unit —
-#: otherwise a *live* worker's lease can be stolen and the cell computed
-#: twice (harmlessly for the record set, wastefully for the fleet).
+#: Default lease duration.  Historically a unit longer than this was simply
+#: stolen; with heartbeat-driven renewal (see :meth:`Worker._heartbeat`) the
+#: TTL now only bounds how long a *dead* worker's lease lingers.
 DEFAULT_LEASE_TTL = 300.0
+
+#: Upper bound on the derived heartbeat interval: a worker beats at least
+#: this often even under huge lease TTLs, so fleet views stay fresh.
+DEFAULT_HEARTBEAT_CAP = 15.0
 
 
 def default_worker_id() -> str:
@@ -64,6 +70,15 @@ class Worker:
         Stop after processing this many units (``None`` = drain fully).
     progress:
         Optional ``progress(unit_id, counts)`` callback per finished unit.
+    heartbeat_interval:
+        Seconds between heartbeats (journal event + latest-heartbeat file +
+        **lease renewal** of the unit in flight).  Defaults to a third of
+        the lease TTL, capped at :data:`DEFAULT_HEARTBEAT_CAP` — three
+        missed beats before the lease becomes stealable.
+    journal:
+        Emit fleet events into ``<queue>/journal``.  On by default; turn
+        off to measure or run journal-free (heartbeat-driven lease renewal
+        still happens — liveness is not an observability option).
     """
 
     def __init__(
@@ -76,6 +91,8 @@ class Worker:
         poll: float = 0.5,
         max_units: Optional[int] = None,
         progress: Optional[Callable[[str, Dict[str, int]], None]] = None,
+        heartbeat_interval: Optional[float] = None,
+        journal: bool = True,
     ) -> None:
         self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
         self.worker_id = worker_id if worker_id is not None else default_worker_id()
@@ -86,11 +103,62 @@ class Worker:
         self.poll = poll
         self.max_units = max_units
         self.progress = progress
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else min(DEFAULT_HEARTBEAT_CAP, lease_ttl / 3.0)
+        )
+        self.journal = journal
+        self._journal: Optional[EventJournal] = None
+        self._last_beat = 0.0
+        self._current: Dict[str, Any] = {}
 
     @property
     def store_dir(self) -> Path:
         """This worker's own shard directory."""
         return self.results_root / self.worker_id
+
+    # ------------------------------------------------------------------
+    # journal + heartbeats
+    # ------------------------------------------------------------------
+    def _emit(self, type: str, **fields: Any) -> None:
+        if self._journal is None:
+            return
+        with contextlib.suppress(OSError):
+            self._journal.append(type, **fields)
+
+    def _heartbeat(self, *, force: bool = False, phase: str = "unit") -> None:
+        """Periodic liveness: renew the in-flight lease, record a heartbeat.
+
+        Renewal is the load-bearing half — a unit that takes longer than
+        the lease TTL keeps its lease as long as its worker is alive and
+        beating, so long units are no longer stolen mid-execution (ROADMAP
+        item 4).  The journal half makes the same cadence observable.
+        """
+        now = time.time()
+        if not force and now - self._last_beat < self.heartbeat_interval:
+            return
+        self._last_beat = now
+        uid = self._current.get("unit")
+        if uid is not None:
+            self.queue.renew_claim(uid, self.worker_id, self.lease_ttl, now=now)
+        if self._journal is None:
+            return
+        beat: Dict[str, Any] = {
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "host": socket.gethostname().split(".", 1)[0],
+            "unit": uid,
+            "cells_done": self._current.get("cells_done"),
+            "unit_total": self._current.get("unit_total"),
+            "phase": phase,
+            "ts": now,
+        }
+        snapshot = get_registry().snapshot()
+        if snapshot:
+            beat["metrics"] = snapshot
+        with contextlib.suppress(OSError):
+            self._journal.heartbeat(**beat)
 
     # ------------------------------------------------------------------
     # salvage
@@ -136,17 +204,60 @@ class Worker:
         persisted cell by cell and byte-identical to a serial run's.
         """
         started = time.perf_counter()
-        cached = sum(1 for key in unit.keys if own.get(key) is not None)
+        cached_keys = [key for key in unit.keys if own.get(key) is not None]
         salvaged = self._salvage(unit, own)
         to_run = [
             spec
             for spec, key in zip(unit.specs, unit.keys)
             if key not in salvaged and own.get(key) is None
         ]
-        result = run_sweep(to_run, executor=SerialExecutor(), store=own)
+        uid = unit.unit
+        self._current = {
+            "unit": uid,
+            "cells_done": len(cached_keys) + len(salvaged),
+            "unit_total": len(unit),
+        }
+        self._emit(
+            "unit.start",
+            unit=uid,
+            worker=self.worker_id,
+            cells=len(unit),
+            cached=len(cached_keys),
+            salvaged=len(salvaged),
+            to_run=len(to_run),
+        )
+        # Per-key events for the cells satisfied without execution, so the
+        # journal accounts for every key of the unit, not just fresh work.
+        for key in cached_keys:
+            self._emit("cell.done", unit=uid, key=key, status="cached")
+        for key in salvaged:
+            self._emit("cell.done", unit=uid, key=key, status="salvaged")
+        self._heartbeat(force=True)  # renew at unit start: the clock is full
+
+        cell_clock = {"last": time.perf_counter()}
+
+        def on_cell(done: int, total: int, record: RunRecord, cached: bool = False) -> None:
+            now = time.perf_counter()
+            seconds = now - cell_clock["last"]
+            cell_clock["last"] = now
+            self._current["cells_done"] = self._current.get("cells_done", 0) + 1
+            # run_sweep persists the record *before* this callback, so a
+            # cell.done event always implies a durable store line.
+            self._emit(
+                "cell.done",
+                unit=uid,
+                key=record.spec.key(),
+                status="executed",
+                seconds=round(seconds, 6),
+            )
+            self._heartbeat()
+
+        result = run_sweep(
+            to_run, executor=SerialExecutor(), store=own, progress=on_cell
+        )
         counts = {
             "total": len(unit),
-            "cached": cached,
+            "cached": len(cached_keys),
             "salvaged": len(salvaged),
             "executed": result.executed,
         }
@@ -174,6 +285,17 @@ class Worker:
              "executed": ...}
         """
         totals = {"units": 0, "total": 0, "cached": 0, "salvaged": 0, "executed": 0}
+        if self.journal:
+            try:
+                self._journal = self.queue.attach_journal(self.worker_id)
+            except ReproError:
+                self._journal = None  # unjournalable worker id: run dark
+        self._emit(
+            "worker.start",
+            worker=self.worker_id,
+            pid=os.getpid(),
+            host=socket.gethostname().split(".", 1)[0],
+        )
         with FileStore(self.store_dir, create=True) as own:
             while True:
                 pending = [uid for uid in self.queue.units() if not self.queue.is_done(uid)]
@@ -182,6 +304,7 @@ class Worker:
                 progressed = False
                 for uid in pending:
                     if self.max_units is not None and totals["units"] >= self.max_units:
+                        self._emit("worker.exit", worker=self.worker_id, **totals)
                         return totals
                     if not self.queue.try_claim(uid, self.worker_id, self.lease_ttl):
                         continue
@@ -205,6 +328,7 @@ class Worker:
                             },
                         )
                     finally:
+                        self._current = {}
                         self.queue.release_claim(uid, self.worker_id)
                     totals["units"] += 1
                     for name in ("total", "cached", "salvaged", "executed"):
@@ -215,5 +339,9 @@ class Worker:
                 if not progressed:
                     # Everything left is validly leased elsewhere: wait for
                     # done markers to appear or leases to expire.
+                    self._heartbeat(phase="idle")
                     time.sleep(self.poll)
+        self._current = {}
+        self._heartbeat(force=True, phase="exit")
+        self._emit("worker.exit", worker=self.worker_id, **totals)
         return totals

@@ -12,6 +12,11 @@ Three pieces, all zero-dependency and stdlib-only:
   :class:`RunTrace` that travels in ``RunRecord.extra["trace"]``.
 * :mod:`repro.obs.profile` — renders a trace as a profile table attributing
   wall time across the named spans.
+* :mod:`repro.obs.events` — the durable fleet event journal (append-only
+  JSONL shards, one per writer) plus worker heartbeats and the fleet
+  summary behind ``repro top`` / ``GET /fleet``.
+* :mod:`repro.obs.analytics` — cross-run trace aggregation: rollups,
+  outlier flagging, ``repro trace diff`` / ``repro trace top``.
 
 Metric name inventory (all from the process-wide registry unless noted):
 
@@ -34,6 +39,25 @@ name                                        kind       source
 ==========================================  =========  ==========================================
 """
 
+from .analytics import (
+    format_rollup,
+    format_trace_diff,
+    format_trace_top,
+    load_traces,
+    rollup,
+    span_components,
+    trace_diff,
+    trace_top,
+)
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    EventJournal,
+    executed_cells,
+    fleet_summary,
+    format_event,
+    format_fleet,
+    sweep_timeline,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -73,4 +97,19 @@ __all__ = [
     "deterministic_view",
     "format_profile",
     "engine_coverage",
+    "EventJournal",
+    "EVENT_SCHEMA_VERSION",
+    "executed_cells",
+    "fleet_summary",
+    "format_event",
+    "format_fleet",
+    "sweep_timeline",
+    "load_traces",
+    "rollup",
+    "format_rollup",
+    "span_components",
+    "trace_diff",
+    "format_trace_diff",
+    "trace_top",
+    "format_trace_top",
 ]

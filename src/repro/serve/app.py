@@ -29,6 +29,17 @@ the queue fabric and returns a content-keyed job id (see
 observe the unit lease/done files; ``POST /sweeps/<id>/cancel`` tombstones
 unclaimed units.  The service itself never executes sweep cells — workers
 drain the queue, and a store merge makes their records servable.
+
+Fleet observability
+-------------------
+``GET /events`` pages the queue's durable event journal
+(:mod:`repro.obs.events`) in ``(ts, writer, seq)`` order, filterable by
+``type`` / ``worker`` / ``unit`` / ``since`` and ETag'd on the journal
+shards' change fingerprint — a quiet fleet answers conditional polls with
+``304`` without reading a single event line.  ``GET /fleet`` summarises the
+live fleet from the latest worker heartbeats (age, unit in flight,
+progress, staleness against the lease TTL) plus queue totals, throughput
+and an ETA — the JSON twin of ``repro top``.
 """
 
 from __future__ import annotations
@@ -51,7 +62,9 @@ from ..analysis.experiment_spec import (
 from ..analysis.render import FORMATS
 from ..distrib.dispatcher import DEFAULT_UNIT_SIZE
 from ..distrib.queue import WorkQueue
+from ..distrib.worker import DEFAULT_LEASE_TTL
 from ..exceptions import QueueError, ReproError
+from ..obs.events import fleet_summary
 from ..obs.metrics import MetricsRegistry
 from ..runtime.records import RunRecord
 from ..runtime.spec import SweepSpec
@@ -265,6 +278,12 @@ class ResultService:
             if len(rest) == 2 and rest[1] in ("status", "progress", "cancel"):
                 self._need(method, "POST" if rest[1] == "cancel" else "GET")
                 return f"sweep_{rest[1]}", self._sweep(rest[1], rest[0])
+        if head == "events" and not rest:
+            self._need(method, "GET")
+            return "events", self._events(params, headers)
+        if head == "fleet" and not rest:
+            self._need(method, "GET")
+            return "fleet", self._fleet()
         raise _HTTPError(404, f"no such endpoint: {method} {path}")
 
     @staticmethod
@@ -297,6 +316,11 @@ class ResultService:
                     "GET /sweeps/<id>/status": "aggregate job state",
                     "GET /sweeps/<id>/progress": "per-unit lease/done detail",
                     "POST /sweeps/<id>/cancel": "tombstone the job's unclaimed units",
+                    "GET /events?type=&worker=&unit=&since=&limit=&offset=": (
+                        "the queue's durable event journal, paginated "
+                        "(ETag: journal change fingerprint)"
+                    ),
+                    "GET /fleet": "live workers from heartbeats + queue totals",
                 },
                 "sweeps_enabled": self.jobs is not None,
             }
@@ -529,6 +553,64 @@ class ResultService:
             raise _HTTPError(404, str(error))
         self._sweeps.inc(action="cancelled")
         return _json_response(report)
+
+    # ------------------------------------------------------------------
+    # fleet observability
+    # ------------------------------------------------------------------
+    def _events(self, params: Dict[str, str], headers: Dict[str, str]) -> Response:
+        """Page the journal; conditional polls are decided by one fingerprint."""
+        journal = self._need_jobs().queue.journal()
+        limit = _int_param(params, "limit", DEFAULT_PAGE_LIMIT)
+        offset = _int_param(params, "offset", 0)
+        if not 0 < limit <= MAX_PAGE_LIMIT:
+            raise _HTTPError(400, f"limit must be in 1..{MAX_PAGE_LIMIT}, got {limit}")
+        if offset < 0:
+            raise _HTTPError(400, f"offset must be non-negative, got {offset}")
+        since: Optional[float] = None
+        if "since" in params:
+            try:
+                since = float(params["since"])
+            except ValueError:
+                raise _HTTPError(
+                    400,
+                    f"query parameter 'since' must be a timestamp, got {params['since']!r}",
+                )
+        etag = f'"events.{journal.generation()}"'
+        if_none_match = headers.get("if-none-match", "")
+        if if_none_match and (etag in if_none_match or if_none_match.strip() == "*"):
+            self._etag_not_modified.inc()
+            return Response(304, {"ETag": etag}, b"")
+        events = journal.events(
+            type=params.get("type"),
+            worker=params.get("worker"),
+            unit=params.get("unit"),
+            since=since,
+        )
+        page = events[offset : offset + limit]
+        return _json_response(
+            {
+                "events": page,
+                "count": len(page),
+                "total": len(events),
+                "offset": offset,
+                "limit": limit,
+                "more": offset + limit < len(events),
+                "dropped": journal.dropped,
+            },
+            headers={"ETag": etag},
+        )
+
+    def _fleet(self) -> Response:
+        """The live fleet: ``repro top``'s JSON twin."""
+        queue = self._need_jobs().queue
+        journal = queue.journal()
+        summary = fleet_summary(
+            queue.status(),
+            journal.latest_heartbeats(),
+            events=journal.events(),
+            lease_ttl=DEFAULT_LEASE_TTL,
+        )
+        return _json_response(summary)
 
 
 # ----------------------------------------------------------------------

@@ -18,15 +18,17 @@ through :meth:`~repro.distrib.queue.WorkQueue.cancel_unit`.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import os
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..distrib.dispatcher import DEFAULT_UNIT_SIZE, Dispatcher
 from ..distrib.queue import WorkQueue
-from ..exceptions import QueueError
+from ..exceptions import QueueError, ReproError
 from ..runtime.spec import SweepSpec, canonical_json
 from ..store.base import ResultStore
 
@@ -55,6 +57,16 @@ class SweepJobs:
         self.store = store
         self.unit_size = unit_size
         self.jobs_root.mkdir(parents=True, exist_ok=True)
+        # The serve tier journals under its own writer, so job submissions
+        # and cancellations interleave (file-wise) with nobody.
+        with contextlib.suppress(ReproError, OSError):
+            self.queue.attach_journal(f"serve-{os.getpid()}")
+
+    def _emit(self, type: str, **fields: Any) -> None:
+        journal = self.queue.attached_journal
+        if journal is not None:
+            with contextlib.suppress(OSError):
+                journal.append(type, **fields)
 
     @property
     def jobs_root(self) -> Path:
@@ -94,6 +106,14 @@ class SweepJobs:
                 encoding="utf-8",
             )
             tmp.replace(path)
+            self._emit(
+                "job.submit",
+                job=jid,
+                sweep_name=sweep.name,
+                cells=report["cells"],
+                skipped_cached=report["skipped_cached"],
+                units=len(report["unit_ids"]),
+            )
         return job
 
     # ------------------------------------------------------------------
@@ -189,6 +209,7 @@ class SweepJobs:
         }
         for uid in job["unit_ids"]:
             outcomes[self.queue.cancel_unit(uid)] += 1
+        self._emit("job.cancel", job=jid, **outcomes)
         return {"job": jid, **outcomes}
 
     def in_flight(self) -> int:

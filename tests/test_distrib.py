@@ -241,6 +241,74 @@ class TestLeaseObservability:
         assert status["steals"] == 1 and status["expired"] == 0
 
 
+class TestLeaseRenewal:
+    """ROADMAP item 4 (long-unit half): heartbeats renew the live lease."""
+
+    def test_holder_renews_and_extends_the_lease(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "w1", ttl=5, now=100.0)
+        assert queue.renew_claim(uid, "w1", ttl=5, now=104.0) is True
+        claim = queue.read_claim(uid)
+        assert claim["expires"] == 109.0
+        assert claim["created"] == 100.0  # provenance, not a fresh claim
+        # The renewed lease outlives the original TTL: no steal at t=107.
+        assert not queue.try_claim(uid, "thief", ttl=5, now=107.0)
+        assert queue.try_claim(uid, "thief", ttl=5, now=110.0)
+
+    def test_non_holder_cannot_renew(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.renew_claim(uid, "w1", ttl=5) is False  # no claim at all
+        assert queue.try_claim(uid, "w1", ttl=5, now=100.0)
+        assert queue.renew_claim(uid, "w2", ttl=5, now=101.0) is False
+        assert queue.read_claim(uid)["worker"] == "w1"
+
+    def test_renewal_after_a_steal_is_refused(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "w1", ttl=-1)  # expired immediately
+        assert queue.try_claim(uid, "thief", ttl=60)  # the steal
+        assert queue.renew_claim(uid, "w1", ttl=60) is False
+        assert queue.read_claim(uid)["worker"] == "thief"
+
+    def test_renewal_preserves_steal_provenance(self, tmp_path):
+        queue = _queue(tmp_path)
+        uid = queue.units()[0]
+        assert queue.try_claim(uid, "dead", ttl=-1)
+        assert queue.try_claim(uid, "w2", ttl=60)
+        assert queue.renew_claim(uid, "w2", ttl=60) is True
+        claim = queue.read_claim(uid)
+        assert claim["steals"] == 1 and claim["stolen_from"] == "dead"
+
+    def test_worker_heartbeat_renews_mid_unit(self, tmp_path):
+        """A unit longer than the lease TTL finishes under its first owner
+        because every heartbeat renews; heartbeat_interval=0 renews on
+        every cell."""
+        queue = _queue(tmp_path, unit_size=4)
+        worker = Worker(
+            queue, worker_id="w1", lease_ttl=60, heartbeat_interval=0.0
+        )
+        totals = worker.run()
+        assert totals["executed"] == 4
+        renews = queue.journal().events(type="lease.renew")
+        assert len(renews) >= 2  # unit start + at least one per-cell renewal
+        assert all(e["worker"] == "w1" for e in renews)
+
+    def test_renewal_does_not_depend_on_the_journal(self, tmp_path):
+        queue = _queue(tmp_path, unit_size=4)
+        renewed = []
+        original = queue.renew_claim
+        queue.renew_claim = lambda *a, **kw: (  # type: ignore[method-assign]
+            renewed.append(a), original(*a, **kw)
+        )[1]
+        Worker(
+            queue, worker_id="w1", lease_ttl=60,
+            heartbeat_interval=0.0, journal=False,
+        ).run()
+        assert renewed  # liveness is not an observability option
+
+
 class TestQueueExecutor:
     def test_matches_serial_run(self, tmp_path):
         serial = run_sweep(GRID)
@@ -434,3 +502,39 @@ class TestQueueStatusJson:
         capsys.readouterr()
         assert main(["queue", "status", "--queue", queue_dir]) == 0
         assert "2 cancelled" in capsys.readouterr().out
+
+
+class TestStatusHeartbeats:
+    """Satellite: queue status reports per-worker heartbeat age and flags
+    workers whose heartbeat is older than the lease TTL as stale."""
+
+    def test_status_lists_heartbeats_and_flags_stale_workers(
+        self, tmp_path, capsys
+    ):
+        queue = _queue(tmp_path)
+        Worker(queue, worker_id="w1", lease_ttl=60).run()
+        queue_dir = str(tmp_path / "queue")
+
+        assert main(["queue", "status", "--queue", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "worker w1: heartbeat" in out and "STALE" not in out
+
+        assert main(["queue", "status", "--queue", queue_dir, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        (entry,) = status["heartbeats"]
+        assert entry["worker"] == "w1" and entry["stale"] is False
+        assert entry["heartbeat_age"] >= 0.0
+        assert entry["last_event_ts"] >= entry["heartbeat_ts"]
+
+        # Shrink the TTL below the heartbeat's age: the worker goes stale.
+        time.sleep(0.05)
+        assert main(["queue", "status", "--queue", queue_dir,
+                     "--lease-ttl", "0.01"]) == 0
+        assert "STALE" in capsys.readouterr().out
+
+    def test_status_without_journal_stays_quiet(self, tmp_path, capsys):
+        queue = _queue(tmp_path)
+        Worker(queue, worker_id="w1", lease_ttl=60, journal=False).run()
+        # Only dispatch journalled; no worker heartbeats to report.
+        assert main(["queue", "status", "--queue", str(queue.root)]) == 0
+        assert "heartbeat" not in capsys.readouterr().out

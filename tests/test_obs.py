@@ -310,3 +310,24 @@ class TestServeRegistry:
         service = ResultService(MemoryStore())
         response = service.handle("GET", "/metrics", params={"format": "xml"})
         assert response.status == 400
+
+
+class TestProfileFooter:
+    def test_events_dropped_lands_in_the_trace_and_the_footer(self):
+        """Satellite: the tracer's drop counter survives into the persisted
+        payload and the profile footer names it."""
+        tracer = Tracer(max_events=1)
+        with tracer.span("run"):
+            for index in range(4):
+                tracer.event("meeting", index=index)
+        payload = tracer.finish().to_dict()
+        assert payload["events_dropped"] == 3
+        rendered = format_profile(payload)
+        assert "events: 1 recorded, 3 dropped" in rendered
+
+    def test_footer_is_omitted_without_events(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            pass
+        rendered = format_profile(tracer.finish().to_dict())
+        assert "recorded" not in rendered

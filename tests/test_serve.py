@@ -424,3 +424,75 @@ class TestSweepJobsDirect:
         assert jobs.in_flight() == 1
         Worker(str(tmp_path / "q"), worker_id="w0", poll=0.01).run()
         assert jobs.in_flight() == 0
+
+
+class TestEventsEndpoint:
+    def _drained_service(self, tmp_path):
+        store = MemoryStore()
+        service = ResultService(store, queue=str(tmp_path / "q"))
+        sweep = {"sizes": [4, 6], "seeds": [0, 1]}
+        body = json.dumps({"sweep": sweep, "unit_size": 2}).encode()
+        jid = body_of(service.handle("POST", "/sweeps", body=body))["job"]
+        Worker(str(tmp_path / "q"), worker_id="w0", poll=0.01).run()
+        return service, jid
+
+    def test_events_page_filters_and_etag(self, tmp_path):
+        service, jid = self._drained_service(tmp_path)
+        response = service.handle("GET", "/events")
+        assert response.status == 200
+        payload = body_of(response)
+        types = {event["type"] for event in payload["events"]}
+        assert {"job.submit", "sweep.dispatch", "unit.claim", "cell.done",
+                "unit.done", "worker.heartbeat"} <= types
+        assert payload["count"] == payload["total"] and not payload["more"]
+        assert payload["dropped"] == 0
+        submits = [e for e in payload["events"] if e["type"] == "job.submit"]
+        assert [e["job"] for e in submits] == [jid]
+
+        etag = response.headers["ETag"]
+        again = service.handle("GET", "/events", headers={"if-none-match": etag})
+        assert again.status == 304
+
+        page = body_of(service.handle("GET", "/events", params={"limit": "3"}))
+        assert page["count"] == 3 and page["more"] is True
+        rest = body_of(
+            service.handle(
+                "GET", "/events", params={"limit": "1000", "offset": "3"}
+            )
+        )
+        assert rest["count"] == page["total"] - 3
+
+        cells = body_of(
+            service.handle("GET", "/events", params={"type": "cell.done"})
+        )
+        assert {e["type"] for e in cells["events"]} == {"cell.done"}
+        assert cells["total"] == 4
+
+    def test_events_validates_parameters(self, tmp_path):
+        service, _jid = self._drained_service(tmp_path)
+        assert service.handle("GET", "/events", params={"limit": "0"}).status == 400
+        assert service.handle("GET", "/events", params={"offset": "-1"}).status == 400
+        assert service.handle("GET", "/events", params={"since": "noon"}).status == 400
+        late = body_of(
+            service.handle("GET", "/events", params={"since": "9999999999"})
+        )
+        assert late["total"] == 0
+
+    def test_events_and_fleet_require_a_queue(self):
+        service = ResultService(MemoryStore())
+        assert service.handle("GET", "/events").status == 503
+        assert service.handle("GET", "/fleet").status == 503
+
+    def test_fleet_snapshot(self, tmp_path):
+        service, _jid = self._drained_service(tmp_path)
+        payload = body_of(service.handle("GET", "/fleet"))
+        assert payload["queue"]["done"] == 2
+        assert payload["remaining_cells"] == 0
+        (worker,) = payload["workers"]
+        assert worker["worker"] == "w0" and worker["stale"] is False
+
+    def test_index_lists_observability_endpoints(self, tmp_path):
+        service = ResultService(MemoryStore(), queue=str(tmp_path / "q"))
+        endpoints = body_of(service.handle("GET", "/"))["endpoints"]
+        assert any("GET /events" in e for e in endpoints)
+        assert any("GET /fleet" in e for e in endpoints)
